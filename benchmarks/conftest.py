@@ -1,0 +1,59 @@
+"""Shared benchmark fixtures.
+
+The three synthetic Grands Prix and the trained networks are built once per
+session; each table/figure bench consumes them. Building everything takes
+a few minutes (three 600 s races through the full extraction chain) — the
+price of regenerating every table from raw media.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.fusion.pipeline import AudioExperiment, AvExperiment, RaceData, prepare_race
+from repro.synth.grandprix import BELGIAN_GP, GERMAN_GP, USA_GP
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results.json"
+
+
+def record_result(key: str, value) -> None:
+    """Accumulate measured numbers into benchmarks/results.json."""
+    data = {}
+    if RESULTS_PATH.exists():
+        data = json.loads(RESULTS_PATH.read_text())
+    data[key] = value
+    RESULTS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True))
+
+
+@pytest.fixture(scope="session")
+def german() -> RaceData:
+    return prepare_race(GERMAN_GP)
+
+
+@pytest.fixture(scope="session")
+def belgian() -> RaceData:
+    return prepare_race(BELGIAN_GP)
+
+
+@pytest.fixture(scope="session")
+def usa() -> RaceData:
+    return prepare_race(USA_GP)
+
+
+@pytest.fixture(scope="session")
+def audio_dbn(german) -> AudioExperiment:
+    """The fully parameterized audio DBN trained on the German GP."""
+    return AudioExperiment(german, structure="a", temporal="v1", seed=1)
+
+
+@pytest.fixture(scope="session")
+def av_with_passing(german) -> AvExperiment:
+    return AvExperiment(german, include_passing=True, seed=2)
+
+
+@pytest.fixture(scope="session")
+def av_without_passing(german) -> AvExperiment:
+    return AvExperiment(german, include_passing=False, seed=2)

@@ -1,0 +1,61 @@
+"""§5.2 — endpoint detection and the acoustic-model comparison.
+
+Paper: speech endpoint detection via STE + first-3-MFCC thresholds; for
+keyword spotting, "Two different acoustic models have been tried ... One
+was trained for clean speech, and the other was aimed at word recognition
+in TV news. The latter showed better results."
+"""
+
+import numpy as np
+
+from repro.audio.endpoint import detect_speech
+from repro.audio.keywords import (
+    CLEAN_SPEECH_MODEL,
+    TV_NEWS_MODEL,
+    KeywordSpotter,
+)
+from repro.synth.annotations import raster
+
+from conftest import record_result
+
+
+def test_endpoint_detection_finds_speech(german, benchmark):
+    result = detect_speech(german.race.signal)
+    n = min(len(result.is_speech), int(german.race.duration * 10))
+    speech_truth = raster(german.race.audio.speech_intervals, n)
+    detected = result.is_speech[:n]
+    recall = float(detected[speech_truth > 0].mean())
+    rejection = float(1.0 - detected[speech_truth == 0].mean())
+    print(f"\nEndpoint detection: speech recall {recall:.2%}, non-speech rejection {rejection:.2%}")
+    record_result("endpoint", {"recall": round(recall, 3), "rejection": round(rejection, 3)})
+    assert recall > 0.7
+
+    benchmark(detect_speech, german.race.signal.slice_seconds(0, 60))
+
+
+def test_tv_news_model_beats_clean_speech(german, benchmark):
+    spotter = KeywordSpotter()
+    planted = {word for _, word in german.race.timeline.keywords}
+
+    found = {}
+    scores = {}
+    for model in (TV_NEWS_MODEL, CLEAN_SPEECH_MODEL):
+        rng = np.random.default_rng(17 + german.race.spec.seed)
+        lattice = model.decode(german.race.audio.phone_slots, rng)
+        hits = spotter.spot(lattice)
+        hit_words = {h.word for h in hits}
+        found[model.name] = len(hit_words & planted)
+        relevant = [h.normalized_score for h in hits if h.word in planted]
+        scores[model.name] = float(np.mean(relevant)) if relevant else 0.0
+
+    print(
+        f"\nKeyword spotting: tv-news found {found['tv-news']}/{len(planted)} "
+        f"(mean score {scores['tv-news']:.2f}), clean-speech found "
+        f"{found['clean-speech']}/{len(planted)} (mean score {scores['clean-speech']:.2f})"
+    )
+    record_result("keyword_models", {"found": found, "scores": scores})
+    assert found["tv-news"] >= found["clean-speech"]
+
+    rng = np.random.default_rng(99)
+    lattice = TV_NEWS_MODEL.decode(german.race.audio.phone_slots[:600], rng)
+    benchmark(spotter.spot, lattice)

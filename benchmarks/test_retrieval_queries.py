@@ -1,0 +1,78 @@
+"""§5.6 — the retrieval query capabilities.
+
+Runs the paper's example queries end to end: text metadata from OCR, DBN
+events pulled in dynamically by the query preprocessor, compound events,
+and the combined DBN+text joins.
+"""
+
+import pytest
+
+from repro.cobra.compound import Component, CompoundEventDef, TemporalConstraint
+from repro.fusion.evaluate import segment_precision_recall
+from repro.retrieval.system import FormulaOneSystem
+
+from conftest import record_result
+
+
+@pytest.fixture(scope="module")
+def system(german):
+    return FormulaOneSystem(german, include_passing=False, seed=2)
+
+
+def test_paper_example_queries(system, german, benchmark):
+    results = {}
+
+    fly_outs = system.ask("Retrieve all fly outs")
+    results["fly_outs"] = len(fly_outs)
+
+    highlights = system.ask("Retrieve all highlights")
+    results["highlights"] = len(highlights)
+    pr = segment_precision_recall(highlights.intervals(), german.truth.highlights)
+    results["highlight_recall"] = round(pr.recall, 3)
+
+    pit_truth = german.truth.pit_stops
+    pits = system.query("RETRIEVE pit_stop")
+    results["pit_stops"] = len(pits)
+    pit_pr = segment_precision_recall(pits.intervals(), pit_truth)
+    results["pit_stop_recall"] = round(pit_pr.recall, 3)
+
+    winner = system.ask(
+        "Retrieve the sequences with the race leader crossing the finish line"
+    )
+    results["winner_overlays"] = len(winner)
+
+    combined = system.query(
+        "RETRIEVE highlight WHERE INTERSECTS excited_speech"
+    )
+    results["announced_highlights"] = len(combined)
+
+    print("\nRetrieval query results (german GP):")
+    for name, value in results.items():
+        print(f"  {name}: {value}")
+    record_result("retrieval", results)
+
+    assert results["fly_outs"] >= 1
+    assert results["highlights"] >= 5
+    assert results["highlight_recall"] > 0.4
+    assert results["pit_stops"] >= 1
+    assert results["pit_stop_recall"] > 0.5
+    assert results["winner_overlays"] >= 1
+
+    benchmark(system.query, "RETRIEVE highlight")
+
+
+def test_compound_event_speedup_path(system, benchmark):
+    system.db.define_compound_event(
+        CompoundEventDef(
+            "bench_compound",
+            [Component("h", "highlight"), Component("e", "excited_speech")],
+            [TemporalConstraint("h", "intersects", "e")],
+        )
+    )
+    count = system.db.materialize_compound_event("bench_compound", "german")
+    print(f"\nCompound 'announced highlight' events materialized: {count}")
+    assert count >= 1
+    again = system.query("RETRIEVE bench_compound")
+    assert len(again) == count
+    # retrieval of the materialized compound is metadata-only (the speedup)
+    benchmark(system.query, "RETRIEVE bench_compound")

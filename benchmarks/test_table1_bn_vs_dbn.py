@@ -1,0 +1,68 @@
+"""Table 1 — BN structures vs the fully parameterized DBN.
+
+Paper (German GP, excited-speech detection):
+
+    ================================  =========  ======
+    network                           precision  recall
+    ================================  =========  ======
+    "fully parameterized" BN (7a)        60 %      67 %
+    BN, direct evidence (7b)             54 %      62 %
+    input/output BN (7c)                 50 %      76 %
+    "fully parameterized" DBN (7a+8)     85 %      81 %
+    ================================  =========  ======
+
+Expected shape: the three BNs land in the same band; the DBN clearly beats
+all of them (the synthetic races are cleaner than broadcast TV, so our
+precisions saturate higher than the paper's — the BN/DBN *gap* is the
+reproduced phenomenon).
+"""
+
+from repro.fusion.pipeline import AudioExperiment
+
+from conftest import record_result
+
+CONFIGS = [
+    ("BN-7a", "a", None),
+    ("BN-7b", "b", None),
+    ("BN-7c", "c", None),
+    ("DBN-7a+8", "a", "v1"),
+]
+
+
+def test_table1_bn_vs_dbn(german, benchmark):
+    rows = {}
+    experiments = {}
+    for label, structure, temporal in CONFIGS:
+        experiment = AudioExperiment(
+            german, structure=structure, temporal=temporal, seed=1
+        )
+        evaluation = experiment.evaluate(german)
+        rows[label] = evaluation.scores.as_percents()
+        experiments[label] = experiment
+
+    print("\nTable 1 (german GP, excited speech): precision / recall")
+    paper = {"BN-7a": (60, 67), "BN-7b": (54, 62), "BN-7c": (50, 76), "DBN-7a+8": (85, 81)}
+    for label, (precision, recall) in rows.items():
+        p_paper, r_paper = paper[label]
+        print(
+            f"  {label:10s} measured {precision:5.1f}/{recall:5.1f}   "
+            f"paper {p_paper}/{r_paper}"
+        )
+    record_result("table1", rows)
+
+    dbn_f1 = _f1(rows["DBN-7a+8"])
+    bn_f1s = [_f1(rows[k]) for k in ("BN-7a", "BN-7b", "BN-7c")]
+    # shape: the DBN dominates every BN structure
+    assert dbn_f1 >= max(bn_f1s)
+    # shape: DBN recall beats the best BN recall (the paper's headline gap)
+    assert rows["DBN-7a+8"][1] >= max(rows[k][1] for k in ("BN-7a", "BN-7b", "BN-7c"))
+
+    # benchmark the DBN inference pass (the operation Table 1 re-runs)
+    benchmark(experiments["DBN-7a+8"].posterior, german)
+
+
+def _f1(row):
+    precision, recall = row
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)

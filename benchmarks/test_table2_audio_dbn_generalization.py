@@ -1,0 +1,32 @@
+"""Table 2 — audio DBN generalization to unseen races.
+
+Paper: the fully parameterized DBN trained on the German GP scores
+precision/recall 77/79 % on the Belgian GP and 76/81 % on the USA GP.
+
+Expected shape: both races stay in a healthy band (no collapse), i.e. the
+audio excitement model transfers across races.
+"""
+
+from conftest import record_result
+
+
+def test_table2_generalization(audio_dbn, belgian, usa, benchmark):
+    rows = {}
+    for data in (belgian, usa):
+        evaluation = audio_dbn.evaluate(data)
+        rows[data.name] = evaluation.scores.as_percents()
+
+    print("\nTable 2 (audio DBN trained on german): precision / recall")
+    paper = {"belgian": (77, 79), "usa": (76, 81)}
+    for name, (precision, recall) in rows.items():
+        print(
+            f"  {name:8s} measured {precision:5.1f}/{recall:5.1f}   "
+            f"paper {paper[name][0]}/{paper[name][1]}"
+        )
+    record_result("table2", rows)
+
+    for name, (precision, recall) in rows.items():
+        assert precision >= 50.0, f"{name} precision collapsed"
+        assert recall >= 50.0, f"{name} recall collapsed"
+
+    benchmark(audio_dbn.posterior, belgian)

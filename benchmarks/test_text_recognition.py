@@ -1,0 +1,54 @@
+"""§5.4 — superimposed-text detection and recognition accuracy.
+
+The paper reports no percentage for OCR, but the retrieval section depends
+on recognized classifications, pit stops, winner and lap overlays; the
+bench measures how many scheduled overlays the full pipeline recovers with
+correctly parsed semantics.
+"""
+
+from repro.text.pipeline import extract_overlays
+
+from conftest import record_result
+
+_KIND_OF_FIRST_WORD = {
+    "1": "classification",
+    "PIT": "pit_stop",
+    "WINNER": "winner",
+    "FINAL": "final_lap",
+    "LAP": "lap",
+}
+
+
+def test_overlay_recognition_accuracy(german, benchmark):
+    recognized = extract_overlays(german.race.video)
+
+    truth = german.truth.overlays
+    matched = 0
+    for interval, words in truth:
+        expected_kind = _KIND_OF_FIRST_WORD[words[0]]
+        hit = any(
+            abs(o.start_time - interval.start) < 2.0 and o.event.kind == expected_kind
+            for o in recognized
+        )
+        matched += hit
+    recall = matched / len(truth)
+
+    spurious = len(recognized) - matched
+    print(
+        f"\nText recognition: {matched}/{len(truth)} overlays recovered "
+        f"({recall:.1%}), {max(spurious, 0)} spurious"
+    )
+    record_result(
+        "text_recognition",
+        {"recall": round(recall, 3), "recognized": len(recognized), "truth": len(truth)},
+    )
+    assert recall >= 0.85
+
+    # benchmark one detection+recognition pass over a 60 s slice
+    import itertools
+
+    from repro.video.frames import FrameStream
+
+    renderer_frames = list(itertools.islice(iter(german.race.video), 600))
+    clip = FrameStream.from_frames(renderer_frames, german.race.video.fps)
+    benchmark(extract_overlays, clip)

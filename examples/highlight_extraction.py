@@ -1,0 +1,64 @@
+"""Multimodal fusion in depth: audio-only vs audio-visual highlight
+detection, and the BN-vs-DBN smoothness contrast of Fig. 9.
+
+Run:  python examples/highlight_extraction.py        (~2-3 minutes)
+"""
+
+import numpy as np
+
+from repro.fusion import (
+    AudioExperiment,
+    AvExperiment,
+    extract_segments,
+    prepare_race,
+    segment_precision_recall,
+)
+from repro.fusion.audio_networks import AUDIO_NODE_TO_FEATURE
+from repro.fusion.discretize import hard_evidence
+from repro.synth import GERMAN_GP
+
+print("Preparing the synthetic German GP (600 s) ...")
+german = prepare_race(GERMAN_GP)
+
+# ---------------------------------------------------------------------------
+# Audio-only: the excited-announcer DBN (Fig. 7a + Fig. 8).
+# ---------------------------------------------------------------------------
+print("\nTraining the audio DBN (excited speech) ...")
+audio = AudioExperiment(german, structure="a", temporal="v1", seed=1)
+audio_eval = audio.evaluate(german)
+print(f"Excited speech detection: {audio_eval.scores}")
+
+audio_segments = extract_segments(
+    audio.posterior(german), min_duration=2.6, merge_gap=0.5
+)
+audio_vs_highlights = segment_precision_recall(
+    audio_segments, german.truth.highlights
+)
+print(
+    f"Audio-only vs ALL interesting segments: recall "
+    f"{audio_vs_highlights.recall:.0%}  (paper: about 50%)"
+)
+
+# ---------------------------------------------------------------------------
+# Audio-visual fusion (Fig. 10/11): replays, semaphore, dust/sand, motion.
+# ---------------------------------------------------------------------------
+print("\nTraining the audio-visual DBN ...")
+av = AvExperiment(german, include_passing=True, seed=2)
+av_eval = av.evaluate(german)
+print(f"AV highlight detection: {av_eval.highlight_scores}  (paper: 84%/86%)")
+print(
+    f"Fusion recall gain over audio-only: "
+    f"{av_eval.highlight_scores.recall - audio_vs_highlights.recall:+.0%}"
+)
+
+# ---------------------------------------------------------------------------
+# Fig. 9: the plain BN's per-step output is spiky; the DBN's is smooth.
+# ---------------------------------------------------------------------------
+print("\nComparing BN vs DBN output traces (Fig. 9) ...")
+bn = AudioExperiment(german, structure="a", temporal=None, seed=1)
+evidence = hard_evidence(bn.template, german.features, AUDIO_NODE_TO_FEATURE)
+bn_trace = bn._engine.static_posterior_series(evidence, "EA")[:3000, 1]
+dbn_trace = audio.posterior(german)[:3000]
+print(f"  BN  mean |step|: {np.abs(np.diff(bn_trace)).mean():.4f}")
+print(f"  DBN mean |step|: {np.abs(np.diff(dbn_trace)).mean():.4f}")
+print("  -> the DBN output can be thresholded directly; the BN cannot.")

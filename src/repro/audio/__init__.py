@@ -1,0 +1,56 @@
+"""Audio substrate: signal containers, band filtering, frame features
+(STE / pitch / MFCC / pause rate), speech endpoint detection, excited-speech
+feature assembly, and FSG keyword spotting."""
+
+from repro.audio.endpoint import EndpointConfig, EndpointResult, detect_speech
+from repro.audio.excitement import (
+    AUDIO_FEATURE_NAMES,
+    ExcitementFeatures,
+    extract_excitement_features,
+)
+from repro.audio.features import (
+    frame_entropy,
+    mel_filterbank,
+    mfcc,
+    pause_rate,
+    pitch_track,
+    short_time_energy,
+    zero_crossing_rate,
+)
+from repro.audio.filters import (
+    ENDPOINT_BAND,
+    EXCITEMENT_BAND,
+    SPEECH_BAND_LIMIT,
+    bandpass,
+)
+from repro.audio.keywords import (
+    CLEAN_SPEECH_MODEL,
+    F1_KEYWORDS,
+    PHONES,
+    TV_NEWS_MODEL,
+    AcousticModel,
+    KeywordHit,
+    KeywordSpotter,
+    PhoneLattice,
+    keyword_stream,
+)
+from repro.audio.signal import (
+    CLIP_SECONDS,
+    FRAME_SECONDS,
+    AudioSignal,
+    clip_statistics,
+    window_function,
+)
+
+__all__ = [
+    "EndpointConfig", "EndpointResult", "detect_speech",
+    "AUDIO_FEATURE_NAMES", "ExcitementFeatures", "extract_excitement_features",
+    "frame_entropy", "mel_filterbank", "mfcc", "pause_rate", "pitch_track",
+    "short_time_energy", "zero_crossing_rate",
+    "ENDPOINT_BAND", "EXCITEMENT_BAND", "SPEECH_BAND_LIMIT", "bandpass",
+    "CLEAN_SPEECH_MODEL", "F1_KEYWORDS", "PHONES", "TV_NEWS_MODEL",
+    "AcousticModel", "KeywordHit", "KeywordSpotter", "PhoneLattice",
+    "keyword_stream",
+    "CLIP_SECONDS", "FRAME_SECONDS", "AudioSignal", "clip_statistics",
+    "window_function",
+]

@@ -1,0 +1,210 @@
+"""Frame-level audio features: STE, pitch, MFCCs, pause rate.
+
+Implements the feature set of §5.2:
+
+* **Short time energy** — average windowed waveform power per 10 ms frame;
+  Hamming window by default (the paper's pick among four candidates).
+* **Pitch** — fundamental frequency by autocorrelation analysis, searched
+  below 1 kHz ("human speech is usually under 1 kHz").
+* **MFCCs** — mel filterbank log-energies followed by a cosine transform;
+  12 coefficients of which the paper uses the first three for endpoint
+  detection.
+* **Pause rate** — fraction of silent frames per clip, "intended to
+  determine the quantity of speech in an audio clip".
+
+All functions are vectorized over frames.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SignalError
+from repro.audio.signal import AudioSignal, window_function
+
+__all__ = [
+    "short_time_energy",
+    "pitch_track",
+    "mel_filterbank",
+    "mfcc",
+    "pause_rate",
+    "zero_crossing_rate",
+    "frame_entropy",
+]
+
+
+def short_time_energy(signal: AudioSignal, window: str = "hamming") -> np.ndarray:
+    """Per-frame short time energy: mean of the windowed squared samples.
+
+    Returns:
+        Array of shape (n_frames,).
+    """
+    frames = signal.frames()
+    w = window_function(window, frames.shape[1])
+    return np.mean((frames * w) ** 2, axis=1)
+
+
+def pitch_track(
+    signal: AudioSignal,
+    fmin: float = 50.0,
+    fmax: float = 1000.0,
+    energy_floor: float = 1e-7,
+) -> np.ndarray:
+    """Per-frame fundamental frequency by autocorrelation analysis.
+
+    Frames whose energy is below ``energy_floor`` (or whose autocorrelation
+    peak is unconvincing) get pitch 0 — the conventional "unvoiced" marker.
+
+    Args:
+        fmin: lowest admissible pitch in Hz.
+        fmax: highest admissible pitch in Hz; the paper restricts the
+            search to below 1 kHz.
+
+    Returns:
+        Array of shape (n_frames,) in Hz.
+    """
+    if not 0 < fmin < fmax:
+        raise SignalError(f"bad pitch range [{fmin}, {fmax}]")
+    base = signal.frames()
+    # Pitch needs more than one period in view: analyse a 30 ms window
+    # centred on each 10 ms frame (previous + current + next frame).
+    padded = np.vstack([base[:1], base, base[-1:]])
+    frames = np.hstack([padded[:-2], padded[1:-1], padded[2:]])
+    fs = signal.sample_rate
+    lag_min = max(int(fs / fmax), 1)
+    lag_max = min(int(fs / fmin), frames.shape[1] - 1)
+    if lag_max <= lag_min:
+        raise SignalError(
+            "frames too short for the requested pitch range; "
+            "lower fmin or raise the sample rate"
+        )
+    centered = frames - frames.mean(axis=1, keepdims=True)
+    # Autocorrelation via FFT, per frame; unbiased normalization so long
+    # lags (low pitch) compete fairly with short lags.
+    n = frames.shape[1]
+    size = 1 << int(np.ceil(np.log2(2 * n)))
+    spectra = np.fft.rfft(centered, n=size, axis=1)
+    autocorr = np.fft.irfft(spectra * np.conj(spectra), n=size, axis=1)[:, :n]
+    overlap = (n - np.arange(n)).astype(np.float64)
+    unbiased = autocorr / overlap
+    r0 = unbiased[:, 0]
+    window = unbiased[:, lag_min : lag_max + 1]
+    peak_val = window.max(axis=1)
+    # A periodic signal peaks equally at every multiple of its period; take
+    # the SMALLEST near-maximal lag so subharmonics don't halve the pitch.
+    near_peak = window >= 0.93 * np.maximum(peak_val[:, None], 1e-12)
+    best_lag = np.argmax(near_peak, axis=1) + lag_min
+    best_val = window[np.arange(window.shape[0]), best_lag - lag_min]
+    energies = np.mean(centered**2, axis=1)
+    voiced = (energies > energy_floor) & (best_val > 0.3 * np.maximum(r0, 1e-12))
+    pitch = np.where(voiced, fs / best_lag, 0.0)
+    return pitch
+
+
+def mel_filterbank(
+    n_filters: int, n_fft: int, sample_rate: int, fmax: float | None = None
+) -> np.ndarray:
+    """Triangular mel-spaced filterbank, shape (n_filters, n_fft // 2 + 1).
+
+    "Mel-scale is gradually warped linear spectrum, with coarser resolution
+    on higher, and finer resolution on lower frequencies" (§5.2).
+    """
+    fmax = fmax or sample_rate / 2
+
+    def hz_to_mel(f: np.ndarray | float) -> np.ndarray | float:
+        return 2595.0 * np.log10(1.0 + np.asarray(f) / 700.0)
+
+    def mel_to_hz(m: np.ndarray | float) -> np.ndarray | float:
+        return 700.0 * (10.0 ** (np.asarray(m) / 2595.0) - 1.0)
+
+    mel_points = np.linspace(hz_to_mel(0.0), hz_to_mel(fmax), n_filters + 2)
+    hz_points = mel_to_hz(mel_points)
+    bins = np.floor((n_fft + 1) * hz_points / sample_rate).astype(int)
+    bank = np.zeros((n_filters, n_fft // 2 + 1))
+    for i in range(n_filters):
+        left, center, right = bins[i], bins[i + 1], bins[i + 2]
+        center = max(center, left + 1)
+        right = max(right, center + 1)
+        for k in range(left, min(center, bank.shape[1])):
+            bank[i, k] = (k - left) / (center - left)
+        for k in range(center, min(right, bank.shape[1])):
+            bank[i, k] = (right - k) / (right - center)
+    return bank
+
+
+def mfcc(
+    signal: AudioSignal,
+    n_coefficients: int = 12,
+    n_filters: int = 24,
+    window: str = "hamming",
+) -> np.ndarray:
+    """Per-frame mel-frequency cepstral coefficients.
+
+    "MFCCs are a simple cosine transform of the Mel-scale energy for
+    different filtered sub-bands" (§5.2).
+
+    Returns:
+        Array of shape (n_frames, n_coefficients); coefficient 0 is the
+        first (index 0 = C1 in the paper's counting of "first three").
+    """
+    frames = signal.frames()
+    w = window_function(window, frames.shape[1])
+    n_fft = 1 << int(np.ceil(np.log2(frames.shape[1])))
+    spectra = np.abs(np.fft.rfft(frames * w, n=n_fft, axis=1)) ** 2
+    bank = mel_filterbank(n_filters, n_fft, signal.sample_rate)
+    energies = spectra @ bank.T
+    log_energies = np.log(np.maximum(energies, 1e-12))
+    # DCT-II over the filter axis.
+    k = np.arange(n_coefficients)[:, None]
+    j = np.arange(n_filters)[None, :]
+    dct = np.cos(np.pi * (k + 1) * (j + 0.5) / n_filters)
+    return log_energies @ dct.T
+
+
+def pause_rate(
+    signal: AudioSignal, silence_threshold: float | None = None
+) -> np.ndarray:
+    """Per-clip fraction of silent frames.
+
+    Args:
+        silence_threshold: STE below this marks a frame silent; defaults to
+            10 % of the median frame energy (adaptive, robust to gain).
+
+    Returns:
+        Array of shape (n_clips,), values in [0, 1].
+    """
+    energy = short_time_energy(signal)
+    if silence_threshold is None:
+        silence_threshold = 0.1 * float(np.median(energy) + 1e-12)
+    silent = (energy < silence_threshold).astype(np.float64)
+    return signal.clip_view(silent).mean(axis=1)
+
+
+def zero_crossing_rate(signal: AudioSignal) -> np.ndarray:
+    """Per-frame zero-crossing rate.
+
+    Kept as the paper keeps it: tried for endpoint detection, "showed
+    powerless when applied in a noisy environment such as ours" — the
+    endpoint bench demonstrates exactly that.
+    """
+    frames = signal.frames()
+    signs = np.sign(frames)
+    signs[signs == 0] = 1
+    return np.mean(np.abs(np.diff(signs, axis=1)) > 0, axis=1)
+
+
+def frame_entropy(signal: AudioSignal, n_bins: int = 16) -> np.ndarray:
+    """Per-frame amplitude-histogram entropy (the other rejected endpoint
+    feature)."""
+    frames = signal.frames()
+    lo = frames.min(axis=1, keepdims=True)
+    hi = frames.max(axis=1, keepdims=True)
+    span = np.maximum(hi - lo, 1e-12)
+    normalized = (frames - lo) / span
+    bins = np.minimum((normalized * n_bins).astype(int), n_bins - 1)
+    out = np.zeros(frames.shape[0])
+    for b in range(n_bins):
+        p = (bins == b).mean(axis=1)
+        mask = p > 0
+        out[mask] -= p[mask] * np.log2(p[mask])
+    return out

@@ -1,0 +1,59 @@
+"""Frequency-band filtering.
+
+The paper computes different features on different bands: STE for endpoint
+detection on 0-882 Hz, STE for excitement on 882-2205 Hz, MFCCs and pitch
+on the low-passed 0-882 Hz signal, and notes that "indicative bands for
+speech characterization are lower sub-bands ... below 2.5 kHz". The band
+edges here default to those values.
+
+Filtering is done with an FFT brick-wall band-pass — simple, linear-phase
+and exactly reproducible, which matters more for a reproduction than
+matched roll-off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SignalError
+from repro.audio.signal import AudioSignal
+
+__all__ = [
+    "bandpass",
+    "ENDPOINT_BAND",
+    "EXCITEMENT_BAND",
+    "SPEECH_BAND_LIMIT",
+]
+
+#: Band used for endpoint-detection STE, "because this bandwidth diminishes
+#: car noises, and various background noises as well" (§5.2).
+ENDPOINT_BAND = (0.0, 882.0)
+#: Band used for excited-speech STE (§5.2).
+EXCITEMENT_BAND = (882.0, 2205.0)
+#: "indicative bands for speech characterization are ... below 2.5 kHz".
+SPEECH_BAND_LIMIT = 2500.0
+
+
+def bandpass(signal: AudioSignal, low_hz: float, high_hz: float) -> AudioSignal:
+    """Zero out spectral content outside [low_hz, high_hz].
+
+    Args:
+        signal: input signal.
+        low_hz: lower edge (inclusive); 0 gives a low-pass.
+        high_hz: upper edge (inclusive); must not exceed Nyquist.
+
+    Returns:
+        A new :class:`AudioSignal` with the same length and sample rate.
+    """
+    nyquist = signal.sample_rate / 2
+    if not 0 <= low_hz < high_hz:
+        raise SignalError(f"bad band [{low_hz}, {high_hz}]")
+    if high_hz > nyquist:
+        raise SignalError(
+            f"band edge {high_hz} Hz exceeds Nyquist {nyquist} Hz"
+        )
+    spectrum = np.fft.rfft(signal.samples)
+    freqs = np.fft.rfftfreq(signal.samples.shape[0], d=1.0 / signal.sample_rate)
+    mask = (freqs >= low_hz) & (freqs <= high_hz)
+    filtered = np.fft.irfft(spectrum * mask, n=signal.samples.shape[0])
+    return AudioSignal(filtered, signal.sample_rate)

@@ -1,0 +1,20 @@
+"""Discrete Bayesian networks: factors, structure, inference, learning."""
+
+from repro.bayes.cpd import TabularCpd
+from repro.bayes.factor import Factor
+from repro.bayes.graph import Dag
+from repro.bayes.inference import VariableElimination, min_fill_order
+from repro.bayes.learn import EmResult, ExpectationMaximization, mle
+from repro.bayes.network import BayesianNetwork
+
+__all__ = [
+    "TabularCpd",
+    "Factor",
+    "Dag",
+    "VariableElimination",
+    "min_fill_order",
+    "EmResult",
+    "ExpectationMaximization",
+    "mle",
+    "BayesianNetwork",
+]

@@ -1,0 +1,141 @@
+"""Directed acyclic graphs for Bayesian networks.
+
+A minimal DAG with the queries inference and learning need: parents,
+children, topological order, ancestors, and cycle rejection at edge-insert
+time. Node names are arbitrary hashables (strings in practice; DBN slices
+use ``("EA", t)`` tuples).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.errors import GraphStructureError
+
+__all__ = ["Dag"]
+
+Node = Hashable
+
+
+class Dag:
+    """A directed acyclic graph with insert-time cycle checking."""
+
+    def __init__(self) -> None:
+        self._parents: dict[Node, list[Node]] = {}
+        self._children: dict[Node, list[Node]] = {}
+
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        if node not in self._parents:
+            self._parents[node] = []
+            self._children[node] = []
+
+    def add_edge(self, parent: Node, child: Node) -> None:
+        """Insert parent -> child, rejecting self-loops and cycles."""
+        if parent == child:
+            raise GraphStructureError(f"self-loop on {parent!r}")
+        self.add_node(parent)
+        self.add_node(child)
+        if parent in self._parents[child]:
+            return  # idempotent
+        if self._reaches(child, parent):
+            raise GraphStructureError(
+                f"edge {parent!r} -> {child!r} would create a cycle"
+            )
+        self._parents[child].append(parent)
+        self._children[parent].append(child)
+
+    def _reaches(self, start: Node, goal: Node) -> bool:
+        stack = [start]
+        seen = set()
+        while stack:
+            node = stack.pop()
+            if node == goal:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._children.get(node, ()))
+        return False
+
+    # ------------------------------------------------------------------
+    def nodes(self) -> list[Node]:
+        return list(self._parents)
+
+    def has_node(self, node: Node) -> bool:
+        return node in self._parents
+
+    def parents(self, node: Node) -> list[Node]:
+        self._require(node)
+        return list(self._parents[node])
+
+    def children(self, node: Node) -> list[Node]:
+        self._require(node)
+        return list(self._children[node])
+
+    def roots(self) -> list[Node]:
+        return [n for n, ps in self._parents.items() if not ps]
+
+    def leaves(self) -> list[Node]:
+        return [n for n, cs in self._children.items() if not cs]
+
+    def edges(self) -> list[tuple[Node, Node]]:
+        return [(p, c) for c, ps in self._parents.items() for p in ps]
+
+    def ancestors(self, node: Node) -> set[Node]:
+        self._require(node)
+        out: set[Node] = set()
+        stack = list(self._parents[node])
+        while stack:
+            current = stack.pop()
+            if current in out:
+                continue
+            out.add(current)
+            stack.extend(self._parents[current])
+        return out
+
+    def descendants(self, node: Node) -> set[Node]:
+        self._require(node)
+        out: set[Node] = set()
+        stack = list(self._children[node])
+        while stack:
+            current = stack.pop()
+            if current in out:
+                continue
+            out.add(current)
+            stack.extend(self._children[current])
+        return out
+
+    def topological_order(self) -> list[Node]:
+        """Kahn's algorithm; deterministic given insertion order."""
+        in_degree = {n: len(ps) for n, ps in self._parents.items()}
+        ready = [n for n, d in in_degree.items() if d == 0]
+        order: list[Node] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            for child in self._children[node]:
+                in_degree[child] -= 1
+                if in_degree[child] == 0:
+                    ready.append(child)
+        if len(order) != len(self._parents):
+            raise GraphStructureError("graph contains a cycle")
+        return order
+
+    def subgraph(self, nodes: Iterable[Node]) -> "Dag":
+        wanted = set(nodes)
+        missing = wanted - set(self._parents)
+        if missing:
+            raise GraphStructureError(f"subgraph of unknown nodes {missing}")
+        out = Dag()
+        for node in self._parents:
+            if node in wanted:
+                out.add_node(node)
+        for parent, child in self.edges():
+            if parent in wanted and child in wanted:
+                out.add_edge(parent, child)
+        return out
+
+    def _require(self, node: Node) -> None:
+        if node not in self._parents:
+            raise GraphStructureError(f"unknown node {node!r}")

@@ -1,0 +1,213 @@
+"""Parameter learning for Bayesian networks.
+
+Two estimators:
+
+* :func:`mle` — maximum-likelihood counting from complete data (with an
+  optional Dirichlet pseudo-count for smoothing);
+* :class:`ExpectationMaximization` — the EM algorithm for data with hidden
+  (never-observed or missing) variables, the learning algorithm the paper
+  uses for its BNs and (through the DBN wrapper) its DBNs.
+
+The E-step computes expected family counts with exact variable-elimination
+posteriors; the M-step normalizes them into new CPDs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import LearningError
+from repro.bayes.cpd import TabularCpd
+from repro.bayes.inference import VariableElimination
+from repro.bayes.network import BayesianNetwork
+
+__all__ = ["mle", "ExpectationMaximization", "EmResult"]
+
+Node = Hashable
+
+
+def mle(
+    network: BayesianNetwork,
+    records: Sequence[Mapping[Node, int]],
+    pseudo_count: float = 0.0,
+) -> BayesianNetwork:
+    """Maximum-likelihood parameters from fully observed records.
+
+    Args:
+        network: defines structure and cardinalities; parameters are ignored.
+        records: complete assignments {node: state}.
+        pseudo_count: added to every cell before normalizing (Laplace
+            smoothing when 1.0); with 0.0, unseen parent configurations fall
+            back to a uniform column.
+
+    Returns:
+        A new network with re-estimated CPDs.
+    """
+    if not records:
+        raise LearningError("mle needs at least one record")
+    out = network.copy()
+    for node in network.nodes():
+        cpd = network.cpd(node)
+        counts = np.full((cpd.cardinality, *cpd.parent_cards), pseudo_count)
+        for record in records:
+            if node not in record:
+                raise LearningError(
+                    f"record missing node {node!r}; use ExpectationMaximization"
+                )
+            index = (record[node], *[record[p] for p in cpd.parents])
+            counts[index] += 1.0
+        table = _normalize_columns(counts)
+        out.replace_cpd(
+            TabularCpd(node, cpd.cardinality, table, cpd.parents, cpd.parent_cards)
+        )
+    return out
+
+
+def _normalize_columns(counts: np.ndarray) -> np.ndarray:
+    sums = counts.sum(axis=0, keepdims=True)
+    cardinality = counts.shape[0]
+    safe = np.where(sums > 0, sums, 1.0)
+    table = counts / safe
+    uniform = np.full_like(counts, 1.0 / cardinality)
+    return np.where(sums > 0, table, uniform)
+
+
+@dataclass
+class EmResult:
+    """Outcome of an EM run."""
+
+    network: BayesianNetwork
+    log_likelihoods: list[float]
+    converged: bool
+
+    @property
+    def iterations(self) -> int:
+        return len(self.log_likelihoods)
+
+    @property
+    def final_log_likelihood(self) -> float:
+        return self.log_likelihoods[-1] if self.log_likelihoods else float("-inf")
+
+
+class ExpectationMaximization:
+    """EM parameter learning with hidden variables.
+
+    Args:
+        network: initial network (structure + starting parameters). Starting
+            parameters matter: EM climbs to a local optimum. Use
+            :meth:`TabularCpd.random` or :meth:`TabularCpd.perturbed` for
+            restarts.
+        max_iterations: hard cap on EM sweeps.
+        tolerance: stop when the per-record log-likelihood improves by less
+            than this between sweeps.
+        pseudo_count: Dirichlet prior added to expected counts in the M-step
+            (keeps probabilities off the simplex boundary).
+    """
+
+    def __init__(
+        self,
+        network: BayesianNetwork,
+        max_iterations: int = 50,
+        tolerance: float = 1e-4,
+        pseudo_count: float = 0.05,
+    ):
+        network.validate()
+        self._initial = network.copy()
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.pseudo_count = pseudo_count
+
+    def fit(
+        self,
+        records: Sequence[Mapping[Node, int]],
+        virtual_records: Sequence[Mapping[Node, Sequence[float]]] | None = None,
+    ) -> EmResult:
+        """Run EM on partially observed records.
+
+        Args:
+            records: assignments; nodes absent from a record are hidden for
+                that record.
+            virtual_records: optional per-record soft evidence, aligned with
+                ``records`` (may be None or shorter; missing entries mean no
+                soft evidence for that record).
+
+        Returns:
+            :class:`EmResult` with the fitted network and the log-likelihood
+            trace (one entry per iteration, computed *before* that
+            iteration's M-step update).
+        """
+        if not records:
+            raise LearningError("EM needs at least one record")
+        current = self._initial.copy()
+        history: list[float] = []
+        converged = False
+        for _ in range(self.max_iterations):
+            engine = VariableElimination(current)
+            counts, log_likelihood = self._expected_counts(
+                current, engine, records, virtual_records
+            )
+            history.append(log_likelihood)
+            for node, table in counts.items():
+                cpd = current.cpd(node)
+                current.replace_cpd(
+                    TabularCpd(
+                        node,
+                        cpd.cardinality,
+                        _normalize_columns(table + self.pseudo_count),
+                        cpd.parents,
+                        cpd.parent_cards,
+                    )
+                )
+            if len(history) >= 2 and abs(history[-1] - history[-2]) < self.tolerance * len(records):
+                converged = True
+                break
+        return EmResult(current, history, converged)
+
+    # ------------------------------------------------------------------
+    def _expected_counts(
+        self,
+        network: BayesianNetwork,
+        engine: VariableElimination,
+        records: Sequence[Mapping[Node, int]],
+        virtual_records: Sequence[Mapping[Node, Sequence[float]]] | None,
+    ) -> tuple[dict[Node, np.ndarray], float]:
+        counts: dict[Node, np.ndarray] = {
+            node: np.zeros((network.cpd(node).cardinality, *network.cpd(node).parent_cards))
+            for node in network.nodes()
+        }
+        log_likelihood = 0.0
+        for i, record in enumerate(records):
+            soft = {}
+            if virtual_records is not None and i < len(virtual_records):
+                soft = dict(virtual_records[i] or {})
+            evidence = dict(record)
+            p_evidence = engine.evidence_probability(evidence, soft)
+            if p_evidence <= 0:
+                raise LearningError(
+                    f"record {i} has zero likelihood under the current model"
+                )
+            log_likelihood += float(np.log(p_evidence))
+            for node in network.nodes():
+                cpd = network.cpd(node)
+                family = [node, *cpd.parents]
+                hidden_family = [v for v in family if v not in evidence]
+                if not hidden_family:
+                    index = (evidence[node], *[evidence[p] for p in cpd.parents])
+                    counts[node][index] += 1.0
+                    continue
+                posterior = engine.query(hidden_family, evidence, soft)
+                for assignment in itertools.product(
+                    *[range(posterior.cardinality(v)) for v in hidden_family]
+                ):
+                    prob = float(posterior.values[assignment])
+                    if prob == 0.0:
+                        continue
+                    full = dict(evidence)
+                    full.update(dict(zip(hidden_family, assignment)))
+                    index = (full[node], *[full[p] for p in cpd.parents])
+                    counts[node][index] += prob
+        return counts, log_likelihood

@@ -1,0 +1,172 @@
+"""Bayesian networks: DAG + CPDs.
+
+"A Bayesian network ... is a directed acyclic graph that describes
+dependencies in a probability distribution function defined over a set of
+variables" (§4). This module binds the :class:`~repro.bayes.graph.Dag`
+structure to :class:`~repro.bayes.cpd.TabularCpd` parameters and validates
+their mutual consistency.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import GraphStructureError, InferenceError
+from repro.bayes.cpd import TabularCpd
+from repro.bayes.factor import Factor
+from repro.bayes.graph import Dag
+
+__all__ = ["BayesianNetwork"]
+
+Node = Hashable
+
+
+class BayesianNetwork:
+    """A discrete Bayesian network.
+
+    Build by adding CPDs; edges are implied by each CPD's parent list::
+
+        net = BayesianNetwork()
+        net.add_cpd(TabularCpd("Rain", 2, [0.8, 0.2]))
+        net.add_cpd(TabularCpd("Wet", 2, [[0.9, 0.1], [0.1, 0.9]],
+                               parents=["Rain"], parent_cards=[2]))
+        net.validate()
+    """
+
+    def __init__(self) -> None:
+        self._dag = Dag()
+        self._cpds: dict[Node, TabularCpd] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def dag(self) -> Dag:
+        return self._dag
+
+    def add_cpd(self, cpd: TabularCpd) -> None:
+        if cpd.variable in self._cpds:
+            raise GraphStructureError(f"node {cpd.variable!r} already has a CPD")
+        self._dag.add_node(cpd.variable)
+        for parent in cpd.parents:
+            self._dag.add_edge(parent, cpd.variable)
+        self._cpds[cpd.variable] = cpd
+
+    def replace_cpd(self, cpd: TabularCpd) -> None:
+        """Swap in new parameters; structure must be unchanged."""
+        old = self.cpd(cpd.variable)
+        if old.parents != cpd.parents or old.parent_cards != cpd.parent_cards:
+            raise GraphStructureError(
+                f"replace_cpd for {cpd.variable!r} changes the structure"
+            )
+        self._cpds[cpd.variable] = cpd
+
+    def cpd(self, node: Node) -> TabularCpd:
+        try:
+            return self._cpds[node]
+        except KeyError:
+            raise GraphStructureError(f"node {node!r} has no CPD") from None
+
+    def nodes(self) -> list[Node]:
+        return self._dag.nodes()
+
+    def cardinality(self, node: Node) -> int:
+        return self.cpd(node).cardinality
+
+    def cardinalities(self) -> dict[Node, int]:
+        return {n: c.cardinality for n, c in self._cpds.items()}
+
+    def validate(self) -> None:
+        """Check every node has a CPD consistent with the structure."""
+        for node in self._dag.nodes():
+            if node not in self._cpds:
+                raise GraphStructureError(f"node {node!r} lacks a CPD")
+            cpd = self._cpds[node]
+            structural = sorted(map(str, self._dag.parents(node)))
+            declared = sorted(map(str, cpd.parents))
+            if structural != declared:
+                raise GraphStructureError(
+                    f"node {node!r}: CPD parents {declared} differ from "
+                    f"graph parents {structural}"
+                )
+            for parent, card in zip(cpd.parents, cpd.parent_cards):
+                if self.cpd(parent).cardinality != card:
+                    raise GraphStructureError(
+                        f"node {node!r}: parent {parent!r} cardinality mismatch"
+                    )
+        self._dag.topological_order()  # raises on cycles
+
+    # ------------------------------------------------------------------
+    def factors(self) -> list[Factor]:
+        """One factor per CPD (the network's factorization)."""
+        return [cpd.to_factor() for cpd in self._cpds.values()]
+
+    def joint(self) -> Factor:
+        """The full joint distribution (exponential; small nets only)."""
+        product = Factor.unit()
+        for factor in self.factors():
+            product = product * factor
+        return product
+
+    def sample(
+        self,
+        n: int,
+        rng: np.random.Generator | None = None,
+        evidence: Mapping[Node, int] | None = None,
+    ) -> list[dict[Node, int]]:
+        """Ancestral sampling of complete assignments.
+
+        Evidence nodes, if given, are clamped (rejection-free: clamped values
+        are simply used as parent states downstream — this is *forward
+        sampling with interventions*, adequate for generating training data).
+        """
+        rng = rng or np.random.default_rng()
+        clamp = dict(evidence or {})
+        order = self._dag.topological_order()
+        out: list[dict[Node, int]] = []
+        for _ in range(n):
+            assignment: dict[Node, int] = {}
+            for node in order:
+                if node in clamp:
+                    assignment[node] = clamp[node]
+                    continue
+                cpd = self._cpds[node]
+                column = [
+                    cpd.probability(s, {p: assignment[p] for p in cpd.parents})
+                    for s in range(cpd.cardinality)
+                ]
+                assignment[node] = int(rng.choice(cpd.cardinality, p=column))
+            out.append(assignment)
+        return out
+
+    def log_likelihood(self, records: Sequence[Mapping[Node, int]]) -> float:
+        """Complete-data log likelihood."""
+        total = 0.0
+        for record in records:
+            for node, cpd in self._cpds.items():
+                if node not in record:
+                    raise InferenceError(
+                        f"record is missing node {node!r}; use EM for hidden data"
+                    )
+                p = cpd.probability(
+                    record[node], {q: record[q] for q in cpd.parents}
+                )
+                if p <= 0:
+                    return float("-inf")
+                total += float(np.log(p))
+        return total
+
+    def copy(self) -> "BayesianNetwork":
+        out = BayesianNetwork()
+        for node in self._dag.topological_order():
+            cpd = self._cpds[node]
+            out.add_cpd(
+                TabularCpd(
+                    cpd.variable,
+                    cpd.cardinality,
+                    cpd.table.copy(),
+                    cpd.parents,
+                    cpd.parent_cards,
+                )
+            )
+        return out

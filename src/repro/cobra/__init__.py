@@ -1,0 +1,36 @@
+"""Cobra VDBMS core: the four-layer video model, BAT-backed metadata,
+COQL, the query preprocessor with dynamic extraction, compound events,
+and the three-level facade."""
+
+from repro.cobra.catalog import DomainKnowledge, ExtractionMethod, KnowledgeCatalog
+from repro.cobra.compound import Component, CompoundEventDef, TemporalConstraint
+from repro.cobra.extensions import (
+    DBN_INFER_PROC,
+    DbnExtension,
+    DbnModule,
+    RuleExtension,
+    VideoProcessingExtension,
+)
+from repro.cobra.metadata import MetadataStore
+from repro.cobra.model import (
+    FeatureTrack,
+    RawVideo,
+    VideoDocument,
+    VideoEvent,
+    VideoObject,
+)
+from repro.cobra.preprocessor import PreprocessReport, QueryPreprocessor
+from repro.cobra.query import CoqlQuery, Condition, QueryExecutor, parse_coql
+from repro.cobra.vdbms import CobraVDBMS, QueryResult
+
+__all__ = [
+    "DomainKnowledge", "ExtractionMethod", "KnowledgeCatalog",
+    "Component", "CompoundEventDef", "TemporalConstraint",
+    "DBN_INFER_PROC", "DbnExtension", "DbnModule", "RuleExtension",
+    "VideoProcessingExtension",
+    "MetadataStore",
+    "FeatureTrack", "RawVideo", "VideoDocument", "VideoEvent", "VideoObject",
+    "PreprocessReport", "QueryPreprocessor",
+    "CoqlQuery", "Condition", "QueryExecutor", "parse_coql",
+    "CobraVDBMS", "QueryResult",
+]

@@ -1,0 +1,79 @@
+"""Domain-knowledge catalog.
+
+"Domain independence is achieved by separating domain knowledge and
+techniques, which use it. Domain knowledge is stored within the database.
+... To provide a user with the ability to query a new domain, knowledge of
+that domain (HMMs, DBNs, rules, etc.) has to be provided." (§2)
+
+The catalog stores, per domain, the trained models and the registered
+extraction methods with their cost/quality descriptors, which the query
+preprocessor consults when deciding how to resolve a query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import CobraError
+
+__all__ = ["ExtractionMethod", "DomainKnowledge", "KnowledgeCatalog"]
+
+
+@dataclass
+class ExtractionMethod:
+    """One way to produce events of some kind for a video.
+
+    Attributes:
+        name: method identifier ("av_dbn", "audio_dbn", "text", "rule").
+        produces: event kinds this method can extract.
+        requires_features: feature tracks that must exist first.
+        cost: relative compute cost (higher = slower) — the preprocessor
+            prefers cheap methods.
+        quality: expected detection quality in [0, 1] — the preprocessor
+            prefers high quality at equal cost.
+        extract: callable(document) -> list of VideoEvent.
+    """
+
+    name: str
+    produces: tuple[str, ...]
+    extract: Callable[..., list]
+    requires_features: tuple[str, ...] = ()
+    cost: float = 1.0
+    quality: float = 0.5
+
+
+@dataclass
+class DomainKnowledge:
+    """Everything the system knows about one domain (e.g. "formula1")."""
+
+    domain: str
+    models: dict[str, Any] = field(default_factory=dict)
+    methods: list[ExtractionMethod] = field(default_factory=list)
+    rules: list[Any] = field(default_factory=list)
+
+    def methods_for(self, kind: str) -> list[ExtractionMethod]:
+        """Methods able to produce ``kind``, best (quality/cost) first."""
+        candidates = [m for m in self.methods if kind in m.produces]
+        return sorted(candidates, key=lambda m: (-m.quality, m.cost))
+
+
+class KnowledgeCatalog:
+    """Domain name -> :class:`DomainKnowledge`."""
+
+    def __init__(self) -> None:
+        self._domains: dict[str, DomainKnowledge] = {}
+
+    def add_domain(self, knowledge: DomainKnowledge) -> None:
+        if knowledge.domain in self._domains:
+            raise CobraError(f"domain {knowledge.domain!r} already present")
+        self._domains[knowledge.domain] = knowledge
+
+    def domain(self, name: str) -> DomainKnowledge:
+        try:
+            return self._domains[name]
+        except KeyError:
+            raise CobraError(f"unknown domain {name!r}") from None
+
+    def domains(self) -> list[str]:
+        return sorted(self._domains)

@@ -1,0 +1,168 @@
+"""BAT-backed metadata store.
+
+"The content abstractions, which are stored as metadata, are used to
+organize, index and retrieve the video source. The metadata is populated
+off-line most of the time, but can also be extracted on-line in the case of
+dynamic feature/semantic extractions in the query time." (§2)
+
+Events and objects are decomposed into aligned BAT groups on the Monet
+kernel (fully decomposed storage), so the conceptual level can resolve
+queries with kernel operators instead of walking Python objects.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import CobraError
+from repro.cobra.model import VideoDocument, VideoEvent, VideoObject
+from repro.monet.bat import BAT
+from repro.monet.kernel import MonetKernel
+from repro.synth.annotations import Interval
+
+__all__ = ["MetadataStore"]
+
+_EVENT_SCHEMA = {
+    "event_id": "str",
+    "video_id": "str",
+    "kind": "str",
+    "start": "dbl",
+    "end": "dbl",
+    "confidence": "dbl",
+    "source": "str",
+}
+
+_OBJECT_SCHEMA = {
+    "object_id": "str",
+    "video_id": "str",
+    "category": "str",
+    "label": "str",
+}
+
+
+class MetadataStore:
+    """Persists Cobra layers into kernel BATs and answers lookups."""
+
+    def __init__(self, kernel: MonetKernel):
+        self._kernel = kernel
+        self._event_bats = {
+            attr: kernel.persist(f"meta_event_{attr}", BAT("void", tail))
+            for attr, tail in _EVENT_SCHEMA.items()
+        }
+        self._object_bats = {
+            attr: kernel.persist(f"meta_object_{attr}", BAT("void", tail))
+            for attr, tail in _OBJECT_SCHEMA.items()
+        }
+        # event roles: (event oid -> role name) and (event oid -> object id)
+        self._role_names = kernel.persist("meta_role_name", BAT("oid", "str"))
+        self._role_objects = kernel.persist("meta_role_object", BAT("oid", "str"))
+        self._documents: dict[str, VideoDocument] = {}
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def register_document(self, document: VideoDocument) -> None:
+        video_id = document.raw.video_id
+        if video_id in self._documents:
+            raise CobraError(f"video {video_id!r} already registered")
+        self._documents[video_id] = document
+        for video_object in document.objects.values():
+            self._store_object(video_id, video_object)
+        for event in document.events.values():
+            self._store_event(video_id, event)
+
+    def store_event(self, video_id: str, event: VideoEvent) -> None:
+        """Add one (possibly freshly extracted) event to the metadata."""
+        self.document(video_id)  # raises on unknown video
+        self._store_event(video_id, event)
+
+    def _store_event(self, video_id: str, event: VideoEvent) -> None:
+        oid = self._event_bats["event_id"].count()
+        self._event_bats["event_id"].insert(event.event_id)
+        self._event_bats["video_id"].insert(video_id)
+        self._event_bats["kind"].insert(event.kind)
+        self._event_bats["start"].insert(float(event.interval.start))
+        self._event_bats["end"].insert(float(event.interval.end))
+        self._event_bats["confidence"].insert(float(event.confidence))
+        self._event_bats["source"].insert(event.source)
+        for role, object_id in event.roles.items():
+            self._role_names.insert(oid, role)
+            self._role_objects.insert(oid, object_id)
+
+    def _store_object(self, video_id: str, video_object: VideoObject) -> None:
+        self._object_bats["object_id"].insert(video_object.object_id)
+        self._object_bats["video_id"].insert(video_id)
+        self._object_bats["category"].insert(video_object.category)
+        self._object_bats["label"].insert(video_object.label)
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def document(self, video_id: str) -> VideoDocument:
+        try:
+            return self._documents[video_id]
+        except KeyError:
+            raise CobraError(f"unknown video {video_id!r}") from None
+
+    def video_ids(self) -> list[str]:
+        return sorted(self._documents)
+
+    def events(
+        self,
+        video_id: str | None = None,
+        kind: str | None = None,
+        min_confidence: float = 0.0,
+    ) -> list[dict[str, Any]]:
+        """Event records (from the BATs) matching the filters."""
+        ids = self._event_bats["event_id"].tails()
+        out: list[dict[str, Any]] = []
+        for oid in range(len(ids)):
+            record = {
+                attr: bat.tails()[oid] for attr, bat in self._event_bats.items()
+            }
+            if video_id is not None and record["video_id"] != video_id:
+                continue
+            if kind is not None and record["kind"] != kind:
+                continue
+            if record["confidence"] < min_confidence:
+                continue
+            record["roles"] = self._roles_of(oid)
+            record["interval"] = Interval(
+                record["start"], record["end"], record["kind"]
+            )
+            out.append(record)
+        out.sort(key=lambda r: (r["video_id"], r["start"]))
+        return out
+
+    def _roles_of(self, oid: int) -> dict[str, str]:
+        roles: dict[str, str] = {}
+        for (head, role), (_, object_id) in zip(
+            self._role_names, self._role_objects
+        ):
+            if head == oid:
+                roles[role] = object_id
+        return roles
+
+    def objects(
+        self,
+        video_id: str | None = None,
+        category: str | None = None,
+        label: str | None = None,
+    ) -> list[dict[str, Any]]:
+        ids = self._object_bats["object_id"].tails()
+        out = []
+        for oid in range(len(ids)):
+            record = {
+                attr: bat.tails()[oid] for attr, bat in self._object_bats.items()
+            }
+            if video_id is not None and record["video_id"] != video_id:
+                continue
+            if category is not None and record["category"] != category:
+                continue
+            if label is not None and record["label"] != label:
+                continue
+            out.append(record)
+        return out
+
+    def has_events(self, video_id: str, kind: str) -> bool:
+        return bool(self.events(video_id, kind))

@@ -1,0 +1,99 @@
+"""The query preprocessor (§2).
+
+"Dynamic feature/semantic extraction is facilitated by a query
+pre-processor. It checks the availability of required metadata needed to
+resolve the query. If metadata is not available it invokes feature/semantic
+extraction engines to extract it dynamically. ... Depending on the
+(un)availability of metadata ... as well as the cost and quality models of
+the method, it makes a decision which method and feature set to use."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExtractionError, UnknownConceptError
+from repro.cobra.catalog import DomainKnowledge, ExtractionMethod
+from repro.cobra.metadata import MetadataStore
+from repro.cobra.query import CoqlQuery
+
+__all__ = ["PreprocessReport", "QueryPreprocessor"]
+
+
+@dataclass
+class PreprocessReport:
+    """What the preprocessor did to make a query answerable."""
+
+    required_kinds: list[str]
+    available: list[str] = field(default_factory=list)
+    extracted: list[tuple[str, str]] = field(default_factory=list)  # (kind, method)
+
+    @property
+    def ran_extraction(self) -> bool:
+        return bool(self.extracted)
+
+
+class QueryPreprocessor:
+    """Metadata-availability analysis + dynamic extraction dispatch."""
+
+    def __init__(self, metadata: MetadataStore, knowledge: DomainKnowledge):
+        self._metadata = metadata
+        self._knowledge = knowledge
+
+    def required_kinds(self, query: CoqlQuery) -> list[str]:
+        """Event kinds the query touches (target + temporal joins)."""
+        kinds = [query.kind]
+        for condition in query.conditions:
+            if condition.kind == "temporal":
+                other = condition.get("other")
+                if other not in kinds:
+                    kinds.append(other)
+        return kinds
+
+    def prepare(self, query: CoqlQuery) -> PreprocessReport:
+        """Ensure all metadata a query needs exists, extracting on demand.
+
+        For every required kind and every target video: if events of the
+        kind are absent, pick the best applicable extraction method
+        (highest quality, then lowest cost, feature prerequisites
+        satisfied) and run it, persisting the produced events.
+        """
+        report = PreprocessReport(self.required_kinds(query))
+        videos = (
+            [query.video] if query.video is not None else self._metadata.video_ids()
+        )
+        for kind in report.required_kinds:
+            for video_id in videos:
+                if self._metadata.has_events(video_id, kind):
+                    if kind not in report.available:
+                        report.available.append(kind)
+                    continue
+                method = self._choose_method(kind, video_id)
+                if method is None:
+                    raise UnknownConceptError(
+                        f"no stored events of kind {kind!r} for video "
+                        f"{video_id!r} and no extraction method can produce it"
+                    )
+                self._run_method(method, video_id)
+                report.extracted.append((kind, method.name))
+        return report
+
+    # ------------------------------------------------------------------
+    def _choose_method(self, kind: str, video_id: str) -> ExtractionMethod | None:
+        document = self._metadata.document(video_id)
+        for method in self._knowledge.methods_for(kind):
+            if all(document.has_feature(f) for f in method.requires_features):
+                return method
+        return None
+
+    def _run_method(self, method: ExtractionMethod, video_id: str) -> None:
+        document = self._metadata.document(video_id)
+        try:
+            events = method.extract(document)
+        except Exception as exc:  # noqa: BLE001 - boundary translation
+            raise ExtractionError(
+                f"extraction method {method.name!r} failed on {video_id!r}: {exc}"
+            ) from exc
+        for event in events:
+            document.events[event.event_id] = event
+            self._metadata.store_event(video_id, event)

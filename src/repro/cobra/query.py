@@ -1,0 +1,255 @@
+"""COQL — the Cobra object query language (conceptual level).
+
+A small declarative language over the event/object metadata::
+
+    RETRIEVE fly_out
+    RETRIEVE pit_stop WHERE ROLE driver = BARRICHELLO
+    RETRIEVE classification WHERE POSITION SCHUMACHER = 1
+    RETRIEVE classification WHERE POSITION SCHUMACHER = 1
+                              AND POSITION HAKKINEN = 2
+    RETRIEVE highlight WHERE INTERSECTS driver_mention
+                              WITH ROLE driver = SCHUMACHER
+    RETRIEVE highlight FROM german WHERE CONFIDENCE >= 0.6
+    RETRIEVE fly_out FROM ALL WHERE ROLE driver = HAKKINEN
+
+Grammar (case-insensitive keywords, identifiers/labels case-preserved)::
+
+    query  := RETRIEVE kind [FROM video|ALL] [WHERE cond (AND cond)*]
+    cond   := ROLE name = label
+            | DRIVER = label                  -- sugar for ROLE driver
+            | POSITION label = int
+            | CONFIDENCE >= float
+            | LAP = int
+            | relation kind [WITH ROLE name = label]
+    relation := INTERSECTS | WITHIN | BEFORE | AFTER | DURING | CONTAINS
+              | MEETS | OVERLAPS | STARTS | FINISHES | EQUALS
+
+The executor resolves queries against a :class:`~repro.cobra.metadata
+.MetadataStore`; temporal conditions join against other event sets through
+the Allen relations of :mod:`repro.rules.temporal`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import QuerySyntaxError, UnknownConceptError
+from repro.cobra.metadata import MetadataStore
+from repro.rules.temporal import ALLEN_RELATIONS, holds
+
+__all__ = ["Condition", "CoqlQuery", "parse_coql", "QueryExecutor"]
+
+_RELATIONS = tuple(r.upper() for r in ALLEN_RELATIONS) + ("INTERSECTS", "WITHIN")
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One WHERE conjunct.
+
+    kind is one of "role", "position", "confidence", "lap", "temporal".
+    """
+
+    kind: str
+    params: tuple[tuple[str, Any], ...]
+
+    @staticmethod
+    def of(kind: str, **params: Any) -> "Condition":
+        return Condition(kind, tuple(sorted(params.items())))
+
+    def get(self, name: str) -> Any:
+        for key, value in self.params:
+            if key == name:
+                return value
+        raise KeyError(name)
+
+
+@dataclass
+class CoqlQuery:
+    """A parsed COQL query."""
+
+    kind: str
+    video: str | None = None  # None = ALL
+    conditions: list[Condition] = field(default_factory=list)
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens = re.findall(r'"[^"]*"|>=|=|[A-Za-z_][A-Za-z_0-9]*|\d+\.\d+|\d+', text)
+    if not tokens:
+        raise QuerySyntaxError("empty query")
+    return tokens
+
+
+def parse_coql(text: str) -> CoqlQuery:
+    """Parse COQL text into a :class:`CoqlQuery`."""
+    tokens = _tokenize(text)
+    pos = 0
+
+    def peek() -> str | None:
+        return tokens[pos] if pos < len(tokens) else None
+
+    def take(expected: str | None = None) -> str:
+        nonlocal pos
+        if pos >= len(tokens):
+            raise QuerySyntaxError(f"unexpected end of query (wanted {expected})")
+        token = tokens[pos]
+        pos += 1
+        if expected is not None and token.upper() != expected:
+            raise QuerySyntaxError(f"expected {expected}, found {token!r}")
+        return token
+
+    def label(token: str) -> str:
+        return token[1:-1] if token.startswith('"') else token
+
+    take("RETRIEVE")
+    query = CoqlQuery(kind=take().lower())
+    if peek() is not None and peek().upper() == "FROM":
+        take()
+        video = take()
+        query.video = None if video.upper() == "ALL" else video
+    if peek() is None:
+        return query
+    take("WHERE")
+    while True:
+        token = take().upper()
+        if token == "ROLE":
+            role = take().lower()
+            take("=")
+            query.conditions.append(
+                Condition.of("role", role=role, label=label(take()).upper())
+            )
+        elif token == "DRIVER":
+            take("=")
+            query.conditions.append(
+                Condition.of("role", role="driver", label=label(take()).upper())
+            )
+        elif token == "POSITION":
+            driver = label(take()).upper()
+            take("=")
+            query.conditions.append(
+                Condition.of("position", label=driver, position=int(take()))
+            )
+        elif token == "CONFIDENCE":
+            take(">=")
+            query.conditions.append(
+                Condition.of("confidence", minimum=float(take()))
+            )
+        elif token == "LAP":
+            take("=")
+            query.conditions.append(Condition.of("lap", lap=int(take())))
+        elif token in _RELATIONS:
+            other = take().lower()
+            role = None
+            role_label = None
+            if peek() is not None and peek().upper() == "WITH":
+                take()
+                take("ROLE")
+                role = take().lower()
+                take("=")
+                role_label = label(take()).upper()
+            query.conditions.append(
+                Condition.of(
+                    "temporal",
+                    relation=token.lower(),
+                    other=other,
+                    role=role,
+                    label=role_label,
+                )
+            )
+        else:
+            raise QuerySyntaxError(f"unknown condition starting with {token!r}")
+        if peek() is None:
+            break
+        take("AND")
+    return query
+
+
+class QueryExecutor:
+    """Resolves parsed COQL queries against the metadata store."""
+
+    def __init__(self, metadata: MetadataStore):
+        self._metadata = metadata
+
+    def execute(self, query: CoqlQuery) -> list[dict[str, Any]]:
+        """Return matching event records (dicts with ``interval`` etc.)."""
+        candidates = self._metadata.events(video_id=query.video, kind=query.kind)
+        if not candidates and not self._kind_known(query.kind):
+            raise UnknownConceptError(
+                f"no events of kind {query.kind!r} in any video — is the "
+                f"concept extracted or defined?"
+            )
+        for condition in query.conditions:
+            candidates = self._apply(condition, candidates, query)
+        return candidates
+
+    def _kind_known(self, kind: str) -> bool:
+        return any(True for _ in self._metadata.events(kind=kind))
+
+    # ------------------------------------------------------------------
+    def _apply(
+        self,
+        condition: Condition,
+        candidates: list[dict[str, Any]],
+        query: CoqlQuery,
+    ) -> list[dict[str, Any]]:
+        if condition.kind == "role":
+            role = condition.get("role")
+            wanted = condition.get("label")
+            return [
+                r
+                for r in candidates
+                if self._role_label(r, role) == wanted
+            ]
+        if condition.kind == "position":
+            wanted = condition.get("label")
+            position = condition.get("position")
+            return [
+                r
+                for r in candidates
+                if self._role_label(r, f"p{position}") == wanted
+            ]
+        if condition.kind == "confidence":
+            minimum = condition.get("minimum")
+            return [r for r in candidates if r["confidence"] >= minimum]
+        if condition.kind == "lap":
+            lap = condition.get("lap")
+            return [r for r in candidates if r["roles"].get("lap") == str(lap)]
+        if condition.kind == "temporal":
+            return self._temporal(condition, candidates, query)
+        raise QuerySyntaxError(f"unknown condition kind {condition.kind!r}")
+
+    def _role_label(self, record: dict[str, Any], role: str) -> str | None:
+        object_id = record["roles"].get(role)
+        if object_id is None:
+            return None
+        matches = self._metadata.objects(video_id=record["video_id"])
+        for video_object in matches:
+            if video_object["object_id"] == object_id:
+                return video_object["label"]
+        return object_id  # roles may store bare labels
+
+    def _temporal(
+        self,
+        condition: Condition,
+        candidates: list[dict[str, Any]],
+        query: CoqlQuery,
+    ) -> list[dict[str, Any]]:
+        relation = condition.get("relation")
+        other_kind = condition.get("other")
+        role = condition.get("role")
+        role_label = condition.get("label")
+        out = []
+        for record in candidates:
+            others = self._metadata.events(
+                video_id=record["video_id"], kind=other_kind
+            )
+            if role is not None:
+                others = [
+                    o for o in others if self._role_label(o, role) == role_label
+                ]
+            if any(
+                holds(relation, record["interval"], o["interval"]) for o in others
+            ):
+                out.append(record)
+        return out

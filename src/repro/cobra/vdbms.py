@@ -1,0 +1,146 @@
+"""The Cobra VDBMS facade — the three-level architecture in one object.
+
+Conceptual level: COQL parsing + the query preprocessor (dynamic
+extraction). Logical level: the Moa extension registry holding the four
+extensions. Physical level: the Monet kernel with the BAT-backed metadata
+store and the extensions' MEL modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import CobraError
+from repro.cobra.catalog import DomainKnowledge, KnowledgeCatalog
+from repro.cobra.compound import CompoundEventDef
+from repro.cobra.metadata import MetadataStore
+from repro.cobra.model import VideoDocument
+from repro.cobra.preprocessor import PreprocessReport, QueryPreprocessor
+from repro.cobra.query import CoqlQuery, QueryExecutor, parse_coql
+from repro.cobra.extensions import (
+    DbnExtension,
+    RuleExtension,
+    VideoProcessingExtension,
+)
+from repro.hmm.parallel import HmmExtension
+from repro.moa.extension import ExtensionRegistry
+from repro.moa.rewrite import MoaCompiler
+from repro.monet.kernel import MonetKernel
+
+__all__ = ["QueryResult", "CobraVDBMS"]
+
+
+@dataclass
+class QueryResult:
+    """Records answering a query plus the preprocessing trace."""
+
+    query: CoqlQuery
+    records: list[dict[str, Any]]
+    report: PreprocessReport
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def intervals(self) -> list:
+        return [r["interval"] for r in self.records]
+
+
+class CobraVDBMS:
+    """The prototype video DBMS (Fig. 2).
+
+    Usage::
+
+        db = CobraVDBMS()
+        db.register_domain(knowledge)           # models + methods
+        db.register_document(document, "formula1")
+        result = db.query('RETRIEVE fly_out WHERE ROLE driver = HAKKINEN')
+    """
+
+    def __init__(self, threads: int = 4):
+        self.kernel = MonetKernel(threads=threads)
+        self.metadata = MetadataStore(self.kernel)
+        self.extensions = ExtensionRegistry()
+        self.compiler = MoaCompiler(self.kernel)
+        self.catalog = KnowledgeCatalog()
+        self._domain_of_video: dict[str, str] = {}
+        self._compound_defs: dict[str, CompoundEventDef] = {}
+
+        # the four extensions of §3
+        self.videoproc = VideoProcessingExtension()
+        self.hmm = HmmExtension(self.kernel, n_servers=6)
+        self.dbn = DbnExtension(self.kernel)
+        self.rules = RuleExtension()
+        for extension in (self.videoproc, self.hmm, self.dbn, self.rules):
+            self.extensions.register(extension)
+
+    # ------------------------------------------------------------------
+    # domains & documents
+    # ------------------------------------------------------------------
+    def register_domain(self, knowledge: DomainKnowledge) -> None:
+        self.catalog.add_domain(knowledge)
+
+    def register_document(self, document: VideoDocument, domain: str) -> None:
+        """Register a video under a domain; its metadata becomes queryable."""
+        self.catalog.domain(domain)  # raises if unknown
+        self.metadata.register_document(document)
+        self._domain_of_video[document.raw.video_id] = domain
+
+    def document(self, video_id: str) -> VideoDocument:
+        return self.metadata.document(video_id)
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def query(self, coql: str | CoqlQuery) -> QueryResult:
+        """Parse, preprocess (extracting missing metadata), and execute."""
+        parsed = parse_coql(coql) if isinstance(coql, str) else coql
+        report = self._preprocess(parsed)
+        records = QueryExecutor(self.metadata).execute(parsed)
+        return QueryResult(parsed, records, report)
+
+    def _preprocess(self, query: CoqlQuery) -> PreprocessReport:
+        if query.video is not None:
+            domains = [self._domain_of(query.video)]
+        else:
+            domains = sorted(set(self._domain_of_video.values()))
+        report: PreprocessReport | None = None
+        for domain in domains:
+            preprocessor = QueryPreprocessor(
+                self.metadata, self.catalog.domain(domain)
+            )
+            report = preprocessor.prepare(query)
+        if report is None:
+            raise CobraError("no videos registered")
+        return report
+
+    def _domain_of(self, video_id: str) -> str:
+        try:
+            return self._domain_of_video[video_id]
+        except KeyError:
+            raise CobraError(f"unknown video {video_id!r}") from None
+
+    # ------------------------------------------------------------------
+    # compound events (§5.6)
+    # ------------------------------------------------------------------
+    def define_compound_event(self, definition: CompoundEventDef) -> None:
+        if definition.name in self._compound_defs:
+            raise CobraError(
+                f"compound event {definition.name!r} already defined"
+            )
+        self._compound_defs[definition.name] = definition
+
+    def materialize_compound_event(self, name: str, video_id: str) -> int:
+        """Evaluate a compound definition and store the found events.
+
+        Returns the number of new events — "adding a newly defined event
+        ... will speed up the future retrieval of this event".
+        """
+        try:
+            definition = self._compound_defs[name]
+        except KeyError:
+            raise CobraError(f"no compound event named {name!r}") from None
+        # component kinds may themselves need dynamic extraction first
+        for component in definition.components:
+            self._preprocess(CoqlQuery(kind=component.kind, video=video_id))
+        return len(definition.materialize(self.metadata, video_id))

@@ -1,0 +1,30 @@
+"""Dynamic Bayesian networks: 2-TBN templates, compiled inference
+(interface filtering/smoothing with optional Boyen-Koller clustering),
+EM learning, unrolling, and sampling."""
+
+from repro.dbn.compiled import (
+    CompiledDbn,
+    FilterResult,
+    SmoothResult,
+    project_onto_clusters,
+)
+from repro.dbn.evidence import EvidenceSequence
+from repro.dbn.learn import DbnEmResult, dbn_em
+from repro.dbn.simulate import sample_sequence
+from repro.dbn.template import DbnTemplate, at_slice, prev
+from repro.dbn.unroll import unroll
+
+__all__ = [
+    "CompiledDbn",
+    "FilterResult",
+    "SmoothResult",
+    "project_onto_clusters",
+    "EvidenceSequence",
+    "DbnEmResult",
+    "dbn_em",
+    "sample_sequence",
+    "DbnTemplate",
+    "at_slice",
+    "prev",
+    "unroll",
+]

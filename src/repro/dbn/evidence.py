@@ -1,0 +1,138 @@
+"""Evidence sequences for DBN inference.
+
+The fusion layer produces, per evidence node, either *hard* state sequences
+(discretized features) or *soft* likelihood sequences (the paper's
+"probabilistic values in range from zero to one" entering the evidence
+nodes as virtual evidence). :class:`EvidenceSequence` validates and aligns
+them for the engines.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import InferenceError
+from repro.dbn.template import DbnTemplate
+
+__all__ = ["EvidenceSequence"]
+
+
+class EvidenceSequence:
+    """Aligned evidence for all observed nodes of a template.
+
+    Args:
+        template: the DBN the evidence belongs to.
+        hard: {node: int array of shape (T,)} — hard states.
+        soft: {node: float array of shape (T, cardinality)} — per-step
+            likelihood vectors (need not normalize; all-ones = no evidence).
+
+    Every observed node of the template must appear in exactly one of the
+    two mappings, and all sequences must share the same length T.
+    """
+
+    def __init__(
+        self,
+        template: DbnTemplate,
+        hard: Mapping[str, Sequence[int] | np.ndarray] | None = None,
+        soft: Mapping[str, np.ndarray] | None = None,
+    ):
+        hard = dict(hard or {})
+        soft = dict(soft or {})
+        observed = set(template.observed_nodes())
+        given = set(hard) | set(soft)
+        if set(hard) & set(soft):
+            raise InferenceError(
+                f"nodes given both hard and soft evidence: {set(hard) & set(soft)}"
+            )
+        if given != observed:
+            missing = observed - given
+            extra = given - observed
+            raise InferenceError(
+                f"evidence mismatch: missing {sorted(missing)}, "
+                f"unexpected {sorted(extra)}"
+            )
+        lengths = set()
+        self._hard: dict[str, np.ndarray] = {}
+        for node, values in hard.items():
+            arr = np.asarray(values, dtype=np.int64)
+            if arr.ndim != 1:
+                raise InferenceError(f"hard evidence for {node!r} must be 1-D")
+            card = template.cardinality(node)
+            if arr.size and (arr.min() < 0 or arr.max() >= card):
+                raise InferenceError(
+                    f"hard evidence for {node!r} out of range [0, {card - 1}]"
+                )
+            lengths.add(arr.shape[0])
+            self._hard[node] = arr
+        self._soft: dict[str, np.ndarray] = {}
+        for node, values in soft.items():
+            arr = np.asarray(values, dtype=np.float64)
+            card = template.cardinality(node)
+            if arr.ndim != 2 or arr.shape[1] != card:
+                raise InferenceError(
+                    f"soft evidence for {node!r} must have shape (T, {card})"
+                )
+            if np.any(arr < 0):
+                raise InferenceError(f"soft evidence for {node!r} is negative")
+            lengths.add(arr.shape[0])
+            self._soft[node] = arr
+        if len(lengths) != 1:
+            raise InferenceError(f"evidence sequences disagree on length: {lengths}")
+        self._length = lengths.pop()
+        if self._length == 0:
+            raise InferenceError("evidence sequences are empty")
+        self._template = template
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def template(self) -> DbnTemplate:
+        return self._template
+
+    def is_hard(self, node: str) -> bool:
+        return node in self._hard
+
+    def all_hard(self) -> bool:
+        return not self._soft
+
+    def hard_values(self, node: str) -> np.ndarray:
+        try:
+            return self._hard[node]
+        except KeyError:
+            raise InferenceError(f"node {node!r} has no hard evidence") from None
+
+    def likelihoods(self, node: str) -> np.ndarray:
+        """Per-step likelihood matrix (T, card); hard evidence is one-hot."""
+        if node in self._soft:
+            return self._soft[node]
+        card = self._template.cardinality(node)
+        values = self.hard_values(node)
+        out = np.zeros((self._length, card))
+        out[np.arange(self._length), values] = 1.0
+        return out
+
+    def slice(self, start: int, stop: int) -> "EvidenceSequence":
+        """Sub-sequence [start, stop) — used to segment training data."""
+        if not 0 <= start < stop <= self._length:
+            raise InferenceError(
+                f"bad slice [{start}, {stop}) for length {self._length}"
+            )
+        return EvidenceSequence(
+            self._template,
+            {n: v[start:stop] for n, v in self._hard.items()},
+            {n: v[start:stop] for n, v in self._soft.items()},
+        )
+
+    def segments(self, segment_length: int) -> list["EvidenceSequence"]:
+        """Chop into consecutive segments (the paper trains DBNs on a 300 s
+        sequence divided into 12 segments of 25 s each)."""
+        if segment_length < 1:
+            raise InferenceError("segment_length must be >= 1")
+        out = []
+        for start in range(0, self._length - segment_length + 1, segment_length):
+            out.append(self.slice(start, start + segment_length))
+        return out

@@ -1,0 +1,69 @@
+"""Ancestral sampling from DBN templates (ground-truth generators)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InferenceError
+from repro.dbn.evidence import EvidenceSequence
+from repro.dbn.template import DbnTemplate
+
+__all__ = ["sample_sequence"]
+
+
+def sample_sequence(
+    template: DbnTemplate,
+    length: int,
+    rng: np.random.Generator | None = None,
+) -> tuple[dict[str, np.ndarray], EvidenceSequence]:
+    """Sample one full trajectory from a DBN.
+
+    Returns:
+        (states, evidence): ``states`` maps every node (hidden AND observed)
+        to its sampled state sequence of shape (length,); ``evidence`` wraps
+        the observed part, ready for the inference engines.
+    """
+    if length < 1:
+        raise InferenceError("sample length must be >= 1")
+    template.validate()
+    rng = rng or np.random.default_rng()
+    order = _slice_order(template)
+    states: dict[str, np.ndarray] = {
+        name: np.zeros(length, dtype=np.int64) for name in template.nodes()
+    }
+    for t in range(length):
+        for name in order:
+            cpd = template.initial_cpd(name) if t == 0 else template.transition_cpd(name)
+            parent_states: dict[str, int] = {}
+            for parent in cpd.parents:
+                if parent.endswith("[t-1]"):
+                    parent_states[parent] = int(
+                        states[parent.removesuffix("[t-1]")][t - 1]
+                    )
+                else:
+                    parent_states[parent] = int(states[parent][t])
+            column = [
+                cpd.probability(s, parent_states) for s in range(cpd.cardinality)
+            ]
+            states[name][t] = int(rng.choice(cpd.cardinality, p=column))
+    evidence = EvidenceSequence(
+        template, hard={n: states[n] for n in template.observed_nodes()}
+    )
+    return states, evidence
+
+
+def _slice_order(template: DbnTemplate) -> list[str]:
+    """Topological order of the intra-slice graph (inter-parents are always
+    available from the previous step)."""
+    remaining = {n: set(template.intra_parents(n)) for n in template.nodes()}
+    order: list[str] = []
+    while remaining:
+        ready = [n for n, parents in remaining.items() if not parents]
+        if not ready:
+            raise InferenceError("intra-slice graph has a cycle")
+        for name in ready:
+            order.append(name)
+            del remaining[name]
+        for parents in remaining.values():
+            parents.difference_update(ready)
+    return order

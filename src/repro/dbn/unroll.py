@@ -1,0 +1,51 @@
+"""Unrolling a DBN template into a static Bayesian network.
+
+Unrolling is the reference semantics: a DBN over T slices *is* the static
+network with one copy of every node per slice, initial CPDs at slice 0 and
+transition CPDs elsewhere. The fast engines in :mod:`repro.dbn.compiled`
+are validated against variable elimination on small unrolled networks.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GraphStructureError
+from repro.bayes.cpd import TabularCpd
+from repro.bayes.network import BayesianNetwork
+from repro.dbn.template import DbnTemplate, at_slice
+
+__all__ = ["unroll"]
+
+
+def unroll(template: DbnTemplate, n_slices: int) -> BayesianNetwork:
+    """Materialize ``n_slices`` copies of the template as one static BN.
+
+    Node names become ``"X@t"`` (see :func:`repro.dbn.template.at_slice`).
+    """
+    if n_slices < 1:
+        raise GraphStructureError("unroll needs at least one slice")
+    template.validate()
+    network = BayesianNetwork()
+    for t in range(n_slices):
+        for name in template.nodes():
+            if t == 0:
+                cpd = template.initial_cpd(name)
+                parents = [at_slice(p, 0) for p in cpd.parents]
+            else:
+                cpd = template.transition_cpd(name)
+                parents = []
+                for p in cpd.parents:
+                    if p.endswith("[t-1]"):
+                        parents.append(at_slice(p.removesuffix("[t-1]"), t - 1))
+                    else:
+                        parents.append(at_slice(p, t))
+            network.add_cpd(
+                TabularCpd(
+                    at_slice(name, t),
+                    cpd.cardinality,
+                    cpd.table,
+                    parents,
+                    cpd.parent_cards,
+                )
+            )
+    network.validate()
+    return network

@@ -1,0 +1,99 @@
+"""Exception hierarchy for the Cobra VDBMS reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one type at an API boundary. Subsystem errors mirror the
+three-level DBMS architecture of the paper: kernel (Monet), algebra (Moa),
+and conceptual (Cobra) levels, plus the probabilistic engines.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class MonetError(ReproError):
+    """Error raised by the Monet-style binary-relational kernel."""
+
+
+class AtomTypeError(MonetError):
+    """A value does not conform to the declared atom type of a column."""
+
+
+class BatError(MonetError):
+    """Structural misuse of a BAT (arity, alignment, missing key)."""
+
+
+class MilError(MonetError):
+    """Base error for the MIL interpreter."""
+
+
+class MilSyntaxError(MilError):
+    """The MIL source text could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class MilNameError(MilError):
+    """Reference to an unknown MIL variable, procedure, or command."""
+
+
+class MilTypeError(MilError):
+    """A MIL operation was applied to operands of the wrong type."""
+
+
+class MoaError(ReproError):
+    """Error in the Moa object algebra layer."""
+
+
+class MoaTypeError(MoaError):
+    """A Moa expression does not type-check against its structures."""
+
+
+class CobraError(ReproError):
+    """Error at the conceptual (Cobra VDBMS) level."""
+
+
+class QuerySyntaxError(CobraError):
+    """A COQL query string could not be parsed."""
+
+
+class UnknownConceptError(CobraError):
+    """A query references an object/event concept the catalog does not know."""
+
+
+class ExtractionError(CobraError):
+    """A dynamic feature/semantic extraction invocation failed."""
+
+
+class InferenceError(ReproError):
+    """Error inside a probabilistic engine (BN, DBN, or HMM)."""
+
+
+class GraphStructureError(InferenceError):
+    """A network definition is not a DAG or references unknown nodes."""
+
+
+class CpdError(InferenceError):
+    """A conditional probability table is malformed or unnormalized."""
+
+
+class LearningError(InferenceError):
+    """Parameter learning failed (empty data, dimension mismatch, ...)."""
+
+
+class SignalError(ReproError):
+    """Error in the audio/video/text signal-processing substrates."""
+
+
+class SynthesisError(ReproError):
+    """Error while synthesizing a Formula 1 race."""
+
+
+class RuleError(ReproError):
+    """Error in the rule-based inference extension."""

@@ -1,0 +1,66 @@
+"""Probabilistic fusion (the paper's core): feature assembly f1..f17,
+discretization, the Fig. 7/8 audio networks, the Fig. 10/11 audio-visual
+DBN, supervised-EM training, and segment-level evaluation."""
+
+from repro.fusion.audio_networks import (
+    AUDIO_EVIDENCE,
+    AUDIO_NODE_TO_FEATURE,
+    INTERMEDIATES,
+    add_temporal_edges,
+    audio_structure,
+    fully_parameterized_dbn,
+)
+from repro.fusion.av_network import (
+    AV_NODE_TO_FEATURE,
+    AV_SUBEVENTS,
+    HIGHLIGHT,
+    av_dbn,
+    av_node_to_feature,
+)
+from repro.fusion.discretize import DiscretizationConfig, hard_evidence, soft_evidence
+from repro.fusion.evaluate import (
+    PrecisionRecall,
+    accumulate,
+    classify_segments,
+    extract_segments,
+    segment_precision_recall,
+)
+from repro.fusion.features import (
+    ALL_FEATURE_NAMES,
+    AUDIO_FEATURES,
+    VISUAL_FEATURES,
+    FeatureSet,
+    extract_feature_set,
+)
+from repro.fusion.pipeline import (
+    AudioEvaluation,
+    AudioExperiment,
+    AvEvaluation,
+    AvExperiment,
+    RaceData,
+    prepare_race,
+)
+from repro.fusion.train import (
+    SEGMENT_SECONDS,
+    TRAIN_SECONDS,
+    annotation_tracks,
+    train_audio_network,
+    train_av_network,
+    transfer_parameters,
+)
+
+__all__ = [
+    "AUDIO_EVIDENCE", "AUDIO_NODE_TO_FEATURE", "INTERMEDIATES",
+    "add_temporal_edges", "audio_structure", "fully_parameterized_dbn",
+    "AV_NODE_TO_FEATURE", "AV_SUBEVENTS", "HIGHLIGHT", "av_dbn",
+    "av_node_to_feature",
+    "DiscretizationConfig", "hard_evidence", "soft_evidence",
+    "PrecisionRecall", "accumulate", "classify_segments", "extract_segments",
+    "segment_precision_recall",
+    "ALL_FEATURE_NAMES", "AUDIO_FEATURES", "VISUAL_FEATURES", "FeatureSet",
+    "extract_feature_set",
+    "AudioEvaluation", "AudioExperiment", "AvEvaluation", "AvExperiment",
+    "RaceData", "prepare_race",
+    "SEGMENT_SECONDS", "TRAIN_SECONDS", "annotation_tracks",
+    "train_audio_network", "train_av_network", "transfer_parameters",
+]

@@ -1,0 +1,151 @@
+"""The audio BN/DBN structures of Fig. 7 and Fig. 8.
+
+Three one-slice structures for detecting Excited Announcer speech (EA) from
+the audio evidence f1..f10:
+
+* **Structure A — "fully parameterized"** (Fig. 7a): EA generates four
+  hidden intermediate concepts — keyword activity (KW), energy level (EN),
+  pitch level (PI), cepstral character (MF) — and each intermediate
+  generates its evidence features.
+* **Structure B — direct evidence influence** (Fig. 7b): the evidence
+  nodes feed straight into the query node (diagnostic direction, no
+  intermediates).
+* **Structure C — input/output** (Fig. 7c): evidence feeds intermediates,
+  intermediates feed EA.
+
+Three inter-slice (temporal) wirings for the DBN counterparts:
+
+* **V1** (Fig. 8, the paper's best): every hidden node keeps a self edge,
+  the query node distributes to all non-observables in the next slice, and
+  all non-observables feed the query node in the next slice.
+* **V2**: "all non-observable nodes distribute evidence to the query node
+  in the next time slice, and only the query node receives evidence from
+  the previous time slice".
+* **V3**: "the query node does not distribute evidence to all
+  non-observable nodes, but only to the query node in the next time slice.
+  All other non-observable nodes pass their values to the corresponding
+  nodes and the query node in the next time slice."
+
+The fully parameterized DBN of Table 1 is structure A wired with V1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dbn.template import DbnTemplate
+from repro.errors import GraphStructureError
+
+__all__ = [
+    "AUDIO_EVIDENCE",
+    "AUDIO_NODE_TO_FEATURE",
+    "EA",
+    "INTERMEDIATES",
+    "audio_structure",
+    "add_temporal_edges",
+    "fully_parameterized_dbn",
+]
+
+#: The query node: Excited Announcer.
+EA = "EA"
+
+#: Evidence node names are the paper's feature ids; the mapping to streams
+#: is the identity.
+AUDIO_EVIDENCE = tuple(f"f{i}" for i in range(1, 11))
+AUDIO_NODE_TO_FEATURE = {name: name for name in AUDIO_EVIDENCE}
+
+#: Hidden intermediates of structures A and C with their evidence groups.
+INTERMEDIATES: dict[str, tuple[str, ...]] = {
+    "KW": ("f1", "f2"),
+    "EN": ("f3", "f4", "f5"),
+    "PI": ("f6", "f7", "f8"),
+    "MF": ("f9", "f10"),
+}
+
+
+def audio_structure(kind: str, ea_observed: bool = False) -> DbnTemplate:
+    """Build one of the Fig. 7 one-slice structures (no temporal edges yet).
+
+    Args:
+        kind: "a" (fully parameterized), "b" (direct evidence influence),
+            or "c" (input/output).
+        ea_observed: mark EA observed — used during supervised training,
+            where the annotated excitement track clamps the query node.
+    """
+    template = DbnTemplate()
+    template.add_node(EA, 2, observed=ea_observed)
+    for name in AUDIO_EVIDENCE:
+        template.add_node(name, 2, observed=True)
+
+    if kind == "a":
+        for intermediate, evidence in INTERMEDIATES.items():
+            template.add_node(intermediate, 2)
+            template.add_intra_edge(EA, intermediate)
+            for node in evidence:
+                template.add_intra_edge(intermediate, node)
+    elif kind == "b":
+        for node in AUDIO_EVIDENCE:
+            template.add_intra_edge(node, EA)
+    elif kind == "c":
+        for intermediate, evidence in INTERMEDIATES.items():
+            template.add_node(intermediate, 2)
+            for node in evidence:
+                template.add_intra_edge(node, intermediate)
+            template.add_intra_edge(intermediate, EA)
+    else:
+        raise GraphStructureError(f"unknown audio structure {kind!r}")
+    return template
+
+
+def add_temporal_edges(template: DbnTemplate, variant: str) -> DbnTemplate:
+    """Wire one of the three §5.5 temporal-dependency variants (in place).
+
+    Evidence nodes never receive temporal edges ("temporal dependencies
+    between nodes from two consecutive time slices" concern the hidden
+    part); the variant decides which hidden pairs connect.
+    """
+    hidden = template.hidden_nodes()
+    others = [h for h in hidden if h != EA]
+    if EA not in hidden:
+        # EA was marked observed (supervised training); it still takes part
+        # in the temporal wiring exactly as in the inference network.
+        others = [h for h in hidden]
+    if variant == "v1":
+        for node in hidden:
+            template.add_inter_edge(node, node)
+        if EA in template.nodes():
+            for node in others:
+                template.add_inter_edge(EA, node)
+                template.add_inter_edge(node, EA)
+            template.add_inter_edge(EA, EA)
+    elif variant == "v2":
+        if EA in template.nodes():
+            template.add_inter_edge(EA, EA)
+            for node in others:
+                template.add_inter_edge(node, EA)
+    elif variant == "v3":
+        for node in hidden:
+            template.add_inter_edge(node, node)
+        if EA in template.nodes():
+            template.add_inter_edge(EA, EA)
+            for node in others:
+                template.add_inter_edge(node, EA)
+    else:
+        raise GraphStructureError(f"unknown temporal variant {variant!r}")
+    return template
+
+
+def fully_parameterized_dbn(
+    ea_observed: bool = False,
+    variant: str = "v1",
+    seed: int = 0,
+) -> DbnTemplate:
+    """Structure A + Fig. 8 temporal edges, randomly initialized.
+
+    This is "the most powerful DBN structure for detection of the
+    emphasized announcer speech" the paper settles on.
+    """
+    template = audio_structure("a", ea_observed=ea_observed)
+    add_temporal_edges(template, variant)
+    template.randomize(np.random.default_rng(seed))
+    return template

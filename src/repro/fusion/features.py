@@ -1,0 +1,100 @@
+"""Assembly of the full f1..f17 evidence block (§5.5).
+
+"The features we extracted from a Formula 1 video are: keywords (f1),
+pause rate (f2), average values of short time energy (f3), dynamic range of
+short time energy (f4), maximum values of short time energy (f5), average
+values of pitch (f6), dynamic range of pitch (f7), maximum values of pitch
+(f8), average values of MFCCs (f9), maximum values of MFCCs (f10), part of
+the race (f11), replay (f12), color difference (f13), semaphore (f14),
+dust (f15), sand (f16), and motion (f17)."
+
+"Feature values ... are represented as probabilistic values in range from
+zero to one. Since the parameters are calculated for each 0.1 s, the length
+of feature vectors is ten times longer than the duration of the video
+measured in seconds."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.audio.excitement import extract_excitement_features
+from repro.audio.keywords import (
+    TV_NEWS_MODEL,
+    AcousticModel,
+    KeywordHit,
+    KeywordSpotter,
+    keyword_stream,
+)
+from repro.errors import SignalError
+from repro.synth.grandprix import SyntheticRace
+from repro.video.features import extract_visual_features
+
+__all__ = ["FeatureSet", "ALL_FEATURE_NAMES", "AUDIO_FEATURES", "VISUAL_FEATURES", "extract_feature_set"]
+
+AUDIO_FEATURES = tuple(f"f{i}" for i in range(1, 11))
+VISUAL_FEATURES = tuple(f"f{i}" for i in range(11, 18))
+ALL_FEATURE_NAMES = AUDIO_FEATURES + VISUAL_FEATURES
+
+
+@dataclass
+class FeatureSet:
+    """All evidence streams of one race at 10 Hz, each in [0, 1].
+
+    Attributes:
+        race_name: source race.
+        streams: "f1".."f17" (plus auxiliary "passing", "dve") -> (n,).
+        keyword_hits: the raw keyword-spotter output (f1's source).
+    """
+
+    race_name: str
+    streams: dict[str, np.ndarray]
+    keyword_hits: list[KeywordHit] = field(default_factory=list)
+
+    @property
+    def n_steps(self) -> int:
+        return next(iter(self.streams.values())).shape[0]
+
+    def stream(self, name: str) -> np.ndarray:
+        if name not in self.streams:
+            raise SignalError(f"no feature stream {name!r}")
+        return self.streams[name]
+
+    def matrix(self, names: tuple[str, ...] = ALL_FEATURE_NAMES) -> np.ndarray:
+        return np.stack([self.stream(n) for n in names], axis=1)
+
+
+def extract_feature_set(
+    race: SyntheticRace,
+    acoustic_model: AcousticModel = TV_NEWS_MODEL,
+    spotter: KeywordSpotter | None = None,
+    lattice_seed: int = 17,
+) -> FeatureSet:
+    """Run the complete §5.2-§5.4 extraction chain on one race.
+
+    The audio chain (endpoint detection, excited-speech features, keyword
+    spotting) and the visual chain (shot/DVE/semaphore/dust/sand/motion)
+    produce streams that are truncated to a common length.
+    """
+    n_target = int(race.duration * 10)
+
+    audio_features = extract_excitement_features(race.signal)
+    visual_features = extract_visual_features(race.video)
+
+    spotter = spotter or KeywordSpotter()
+    rng = np.random.default_rng(lattice_seed + race.spec.seed)
+    lattice = acoustic_model.decode(race.audio.phone_slots, rng)
+    hits = spotter.spot(lattice)
+    f1 = keyword_stream(hits, n_target)
+
+    streams: dict[str, np.ndarray] = {"f1": f1}
+    for name, values in audio_features.streams.items():
+        streams[name] = values
+    for name, values in visual_features.streams.items():
+        streams[name] = values
+
+    n = min(min(v.shape[0] for v in streams.values()), n_target)
+    streams = {name: values[:n] for name, values in streams.items()}
+    return FeatureSet(race.name, streams, hits)

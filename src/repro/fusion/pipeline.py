@@ -1,0 +1,191 @@
+"""End-to-end fusion experiments: the §5.5 pipelines as callable objects.
+
+These helpers tie together synthesis, extraction, training, inference and
+scoring; the benchmark suite calls them once per table/figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dbn.compiled import CompiledDbn
+from repro.dbn.template import DbnTemplate
+from repro.fusion.audio_networks import AUDIO_NODE_TO_FEATURE
+from repro.fusion.av_network import av_node_to_feature
+from repro.fusion.discretize import DiscretizationConfig, hard_evidence
+from repro.fusion.evaluate import (
+    PrecisionRecall,
+    accumulate,
+    classify_segments,
+    extract_segments,
+    segment_precision_recall,
+)
+from repro.fusion.features import FeatureSet, extract_feature_set
+from repro.fusion.train import train_audio_network, train_av_network
+from repro.synth.annotations import Interval
+from repro.synth.grandprix import SyntheticRace, synthesize_race
+from repro.synth.race import RaceSpec
+
+__all__ = [
+    "RaceData",
+    "prepare_race",
+    "AudioExperiment",
+    "AvExperiment",
+    "AudioEvaluation",
+    "AvEvaluation",
+]
+
+
+@dataclass
+class RaceData:
+    """A synthesized race with its extracted features (cached together)."""
+
+    race: SyntheticRace
+    features: FeatureSet
+
+    @property
+    def name(self) -> str:
+        return self.race.name
+
+    @property
+    def truth(self):
+        return self.race.truth
+
+
+def prepare_race(spec: RaceSpec, **synth_kwargs) -> RaceData:
+    """Synthesize one race and run the full extraction chain."""
+    race = synthesize_race(spec, **synth_kwargs)
+    return RaceData(race, extract_feature_set(race))
+
+
+@dataclass
+class AudioEvaluation:
+    """Excited-speech detection quality on one race."""
+
+    race_name: str
+    scores: PrecisionRecall
+    posterior: np.ndarray
+    segments: list[Interval]
+
+
+class AudioExperiment:
+    """Train-once / evaluate-many audio network experiment (Tables 1-2)."""
+
+    def __init__(
+        self,
+        train_data: RaceData,
+        structure: str = "a",
+        temporal: str | None = "v1",
+        seed: int = 0,
+        config: DiscretizationConfig | None = None,
+        max_iterations: int = 12,
+    ):
+        self.structure = structure
+        self.temporal = temporal
+        self.config = config
+        self.template, self.em_result = train_audio_network(
+            train_data.features,
+            train_data.truth,
+            structure=structure,
+            temporal=temporal,
+            seed=seed,
+            config=config,
+            max_iterations=max_iterations,
+        )
+        self._engine = CompiledDbn(self.template)
+
+    def posterior(self, data: RaceData, clusters=None) -> np.ndarray:
+        """P(EA active) per 0.1 s step over a whole race."""
+        evidence = hard_evidence(
+            self.template, data.features, AUDIO_NODE_TO_FEATURE, config=self.config
+        )
+        if self.temporal is None:
+            # Plain BN: per-step inference, then temporal accumulation
+            # (Fig. 9a post-processing).
+            series = self._engine.static_posterior_series(evidence, "EA")[:, 1]
+            return accumulate(series, window_seconds=1.5)
+        return self._engine.posterior_series(evidence, "EA", clusters=clusters)[:, 1]
+
+    def evaluate(self, data: RaceData, clusters=None) -> AudioEvaluation:
+        posterior = self.posterior(data, clusters=clusters)
+        segments = extract_segments(posterior, min_duration=2.6, merge_gap=0.5)
+        truth = data.truth.excited_speech
+        scores = segment_precision_recall(segments, truth)
+        return AudioEvaluation(data.name, scores, posterior, segments)
+
+
+@dataclass
+class AvEvaluation:
+    """Highlight + sub-event detection quality on one race."""
+
+    race_name: str
+    highlight_scores: PrecisionRecall
+    event_scores: dict[str, PrecisionRecall]
+    highlight_segments: list[Interval]
+    posteriors: dict[str, np.ndarray] = field(repr=False, default_factory=dict)
+
+
+class AvExperiment:
+    """Train-once / evaluate-many audio-visual experiment (Tables 3-4)."""
+
+    #: Sub-event node -> ground-truth track.
+    EVENT_TRUTH = {"Start": "start", "FlyOut": "fly_out", "Passing": "passing"}
+
+    def __init__(
+        self,
+        train_data: RaceData,
+        include_passing: bool = True,
+        seed: int = 0,
+        config: DiscretizationConfig | None = None,
+        max_iterations: int = 8,
+    ):
+        self.include_passing = include_passing
+        self.config = config
+        self.template, self.em_result = train_av_network(
+            train_data.features,
+            train_data.truth,
+            include_passing=include_passing,
+            seed=seed,
+            config=config,
+            max_iterations=max_iterations,
+        )
+        self._engine = CompiledDbn(self.template)
+
+    def posteriors(self, data: RaceData) -> dict[str, np.ndarray]:
+        evidence = hard_evidence(
+            self.template,
+            data.features,
+            av_node_to_feature(self.include_passing),
+            config=self.config,
+        )
+        gamma = self._engine.filter(evidence).gamma
+        nodes = ["Highlight", "EA", "Start", "FlyOut"] + (
+            ["Passing"] if self.include_passing else []
+        )
+        return {
+            node: self._engine.marginal(gamma, node)[:, 1] for node in nodes
+        }
+
+    def evaluate(self, data: RaceData) -> AvEvaluation:
+        posteriors = self.posteriors(data)
+        segments = extract_segments(posteriors["Highlight"])
+        highlight_scores = segment_precision_recall(
+            segments, data.truth.highlights
+        )
+        event_nodes = {
+            name: posteriors[name]
+            for name in self.EVENT_TRUTH
+            if name in posteriors
+        }
+        labelled = classify_segments(segments, event_nodes)
+        event_scores = {}
+        for node, kind in self.EVENT_TRUTH.items():
+            if node not in labelled:
+                continue
+            truth = data.truth.of_kind(kind)
+            event_scores[node] = segment_precision_recall(labelled[node], truth)
+        return AvEvaluation(
+            data.name, highlight_scores, event_scores, segments, posteriors
+        )

@@ -1,0 +1,32 @@
+"""Discrete HMMs: model, inference, Baum-Welch, and the parallel extension."""
+
+from repro.hmm.algorithms import (
+    ForwardBackwardResult,
+    forward_backward,
+    log_likelihood,
+    sample,
+    viterbi,
+)
+from repro.hmm.model import DiscreteHmm
+from repro.hmm.parallel import (
+    HmmExtension,
+    HmmModule,
+    HmmServer,
+    build_parallel_eval_proc,
+)
+from repro.hmm.train import BaumWelchResult, baum_welch
+
+__all__ = [
+    "ForwardBackwardResult",
+    "forward_backward",
+    "log_likelihood",
+    "sample",
+    "viterbi",
+    "DiscreteHmm",
+    "HmmExtension",
+    "HmmModule",
+    "HmmServer",
+    "build_parallel_eval_proc",
+    "BaumWelchResult",
+    "baum_welch",
+]

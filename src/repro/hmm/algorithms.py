@@ -1,0 +1,149 @@
+"""HMM inference algorithms: scaled forward/backward, Viterbi, posteriors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import InferenceError
+from repro.hmm.model import DiscreteHmm
+
+__all__ = ["ForwardBackwardResult", "forward_backward", "log_likelihood", "viterbi", "sample"]
+
+
+@dataclass
+class ForwardBackwardResult:
+    """Scaled forward/backward quantities for one sequence.
+
+    Attributes:
+        log_likelihood: log P(observations | model).
+        gamma: state posteriors, shape (T, n_states).
+        xi_sum: expected transition counts summed over time,
+            shape (n_states, n_states).
+        alphas: scaled forward variables, shape (T, n_states).
+        scales: per-step scaling constants c_t with
+            log P(o) = sum(log c_t).
+    """
+
+    log_likelihood: float
+    gamma: np.ndarray
+    xi_sum: np.ndarray
+    alphas: np.ndarray
+    scales: np.ndarray
+
+
+def forward_backward(model: DiscreteHmm, observations: Sequence[int]) -> ForwardBackwardResult:
+    """Run the scaled forward-backward algorithm on one sequence."""
+    obs = model.check_observations(observations)
+    t_len = obs.shape[0]
+    n = model.n_states
+    a = model.transition
+    b = model.emission
+
+    alphas = np.zeros((t_len, n))
+    scales = np.zeros(t_len)
+
+    alpha = model.initial * b[:, obs[0]]
+    scales[0] = alpha.sum()
+    if scales[0] == 0:
+        raise InferenceError("observation sequence has zero probability at t=0")
+    alphas[0] = alpha / scales[0]
+    for t in range(1, t_len):
+        alpha = (alphas[t - 1] @ a) * b[:, obs[t]]
+        scales[t] = alpha.sum()
+        if scales[t] == 0:
+            raise InferenceError(f"observation sequence has zero probability at t={t}")
+        alphas[t] = alpha / scales[t]
+
+    betas = np.zeros((t_len, n))
+    betas[-1] = 1.0
+    for t in range(t_len - 2, -1, -1):
+        betas[t] = (a @ (b[:, obs[t + 1]] * betas[t + 1])) / scales[t + 1]
+
+    gamma = alphas * betas
+    gamma /= gamma.sum(axis=1, keepdims=True)
+
+    xi_sum = np.zeros((n, n))
+    for t in range(t_len - 1):
+        numer = (
+            alphas[t][:, None]
+            * a
+            * (b[:, obs[t + 1]] * betas[t + 1])[None, :]
+            / scales[t + 1]
+        )
+        xi_sum += numer
+
+    return ForwardBackwardResult(
+        log_likelihood=float(np.log(scales).sum()),
+        gamma=gamma,
+        xi_sum=xi_sum,
+        alphas=alphas,
+        scales=scales,
+    )
+
+
+def log_likelihood(model: DiscreteHmm, observations: Sequence[int]) -> float:
+    """log P(observations | model) — the HMM *evaluation* operation.
+
+    This is what each of the six parallel HMM servers computes in the
+    paper's Fig. 3/4 before the best-scoring model is selected.
+    """
+    obs = model.check_observations(observations)
+    alpha = model.initial * model.emission[:, obs[0]]
+    total = 0.0
+    scale = alpha.sum()
+    if scale == 0:
+        return float("-inf")
+    total += np.log(scale)
+    alpha /= scale
+    for t in range(1, obs.shape[0]):
+        alpha = (alpha @ model.transition) * model.emission[:, obs[t]]
+        scale = alpha.sum()
+        if scale == 0:
+            return float("-inf")
+        total += np.log(scale)
+        alpha /= scale
+    return float(total)
+
+
+def viterbi(model: DiscreteHmm, observations: Sequence[int]) -> tuple[list[int], float]:
+    """Most probable state path and its log probability."""
+    obs = model.check_observations(observations)
+    t_len = obs.shape[0]
+    n = model.n_states
+    with np.errstate(divide="ignore"):
+        log_a = np.log(model.transition)
+        log_b = np.log(model.emission)
+        log_pi = np.log(model.initial)
+
+    delta = log_pi + log_b[:, obs[0]]
+    back = np.zeros((t_len, n), dtype=np.int64)
+    for t in range(1, t_len):
+        candidates = delta[:, None] + log_a
+        back[t] = np.argmax(candidates, axis=0)
+        delta = candidates[back[t], np.arange(n)] + log_b[:, obs[t]]
+    best_last = int(np.argmax(delta))
+    path = [best_last]
+    for t in range(t_len - 1, 0, -1):
+        path.append(int(back[t, path[-1]]))
+    path.reverse()
+    return path, float(delta[best_last])
+
+
+def sample(
+    model: DiscreteHmm, length: int, rng: np.random.Generator | None = None
+) -> tuple[list[int], list[int]]:
+    """Sample (states, observations) of the given length."""
+    if length < 1:
+        raise InferenceError("sample length must be >= 1")
+    rng = rng or np.random.default_rng()
+    states: list[int] = []
+    observations: list[int] = []
+    state = int(rng.choice(model.n_states, p=model.initial))
+    for _ in range(length):
+        states.append(state)
+        observations.append(int(rng.choice(model.n_symbols, p=model.emission[state])))
+        state = int(rng.choice(model.n_states, p=model.transition[state]))
+    return states, observations

@@ -1,0 +1,107 @@
+"""Discrete hidden Markov models.
+
+The HMM extension of the Cobra system implements "two basic HMM operations:
+training and evaluation" (§3). This module holds the model object; the
+algorithms live in :mod:`repro.hmm.algorithms` and training in
+:mod:`repro.hmm.train`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import InferenceError
+
+__all__ = ["DiscreteHmm"]
+
+
+class DiscreteHmm:
+    """An HMM with discrete observations.
+
+    Args:
+        initial: state prior π, shape (n_states,).
+        transition: state transition matrix A, shape (n_states, n_states),
+            rows sum to one (A[i, j] = P(s_t = j | s_{t-1} = i)).
+        emission: emission matrix B, shape (n_states, n_symbols), rows sum
+            to one (B[i, k] = P(o_t = k | s_t = i)).
+        name: optional label ("Service", "Smash", ... in the paper's Fig 4).
+    """
+
+    def __init__(
+        self,
+        initial: Sequence[float] | np.ndarray,
+        transition: Sequence[Sequence[float]] | np.ndarray,
+        emission: Sequence[Sequence[float]] | np.ndarray,
+        name: str | None = None,
+    ):
+        pi = np.asarray(initial, dtype=np.float64)
+        a = np.asarray(transition, dtype=np.float64)
+        b = np.asarray(emission, dtype=np.float64)
+        if pi.ndim != 1:
+            raise InferenceError("initial distribution must be a vector")
+        n = pi.shape[0]
+        if a.shape != (n, n):
+            raise InferenceError(f"transition matrix must be ({n}, {n}), got {a.shape}")
+        if b.ndim != 2 or b.shape[0] != n:
+            raise InferenceError(f"emission matrix must have {n} rows, got {b.shape}")
+        for label, array, axis in (("initial", pi, None), ("transition", a, 1), ("emission", b, 1)):
+            if np.any(array < 0):
+                raise InferenceError(f"{label} has negative probabilities")
+            sums = array.sum() if axis is None else array.sum(axis=axis)
+            if not np.allclose(sums, 1.0, atol=1e-6):
+                raise InferenceError(f"{label} rows must sum to 1")
+        self.initial = pi
+        self.transition = a
+        self.emission = b
+        self.name = name
+
+    @property
+    def n_states(self) -> int:
+        return self.initial.shape[0]
+
+    @property
+    def n_symbols(self) -> int:
+        return self.emission.shape[1]
+
+    def check_observations(self, observations: Sequence[int]) -> np.ndarray:
+        obs = np.asarray(observations, dtype=np.int64)
+        if obs.ndim != 1 or obs.size == 0:
+            raise InferenceError("observation sequence must be a non-empty vector")
+        if obs.min() < 0 or obs.max() >= self.n_symbols:
+            raise InferenceError(
+                f"observations must lie in [0, {self.n_symbols - 1}]"
+            )
+        return obs
+
+    @staticmethod
+    def random(
+        n_states: int,
+        n_symbols: int,
+        rng: np.random.Generator | None = None,
+        name: str | None = None,
+    ) -> "DiscreteHmm":
+        """A Dirichlet-random model, e.g. as a Baum-Welch starting point."""
+        rng = rng or np.random.default_rng()
+        pi = rng.gamma(1.0, size=n_states)
+        a = rng.gamma(1.0, size=(n_states, n_states))
+        b = rng.gamma(1.0, size=(n_states, n_symbols))
+        return DiscreteHmm(
+            pi / pi.sum(),
+            a / a.sum(axis=1, keepdims=True),
+            b / b.sum(axis=1, keepdims=True),
+            name=name,
+        )
+
+    def copy(self) -> "DiscreteHmm":
+        return DiscreteHmm(
+            self.initial.copy(),
+            self.transition.copy(),
+            self.emission.copy(),
+            name=self.name,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or "<anonymous>"
+        return f"DiscreteHmm({label}, states={self.n_states}, symbols={self.n_symbols})"

@@ -1,0 +1,82 @@
+"""Baum-Welch training for discrete HMMs (multi-sequence)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import LearningError
+from repro.hmm.algorithms import forward_backward
+from repro.hmm.model import DiscreteHmm
+
+__all__ = ["BaumWelchResult", "baum_welch"]
+
+
+@dataclass
+class BaumWelchResult:
+    """Outcome of a Baum-Welch run."""
+
+    model: DiscreteHmm
+    log_likelihoods: list[float]
+    converged: bool
+
+    @property
+    def iterations(self) -> int:
+        return len(self.log_likelihoods)
+
+
+def baum_welch(
+    initial_model: DiscreteHmm,
+    sequences: Sequence[Sequence[int]],
+    max_iterations: int = 100,
+    tolerance: float = 1e-4,
+    pseudo_count: float = 1e-3,
+) -> BaumWelchResult:
+    """Fit HMM parameters by EM over several observation sequences.
+
+    Args:
+        initial_model: starting point (structure = state/symbol counts).
+        sequences: observation sequences (may differ in length).
+        max_iterations: cap on EM sweeps.
+        tolerance: stop when total log-likelihood improves by less.
+        pseudo_count: Dirichlet smoothing added to all expected counts.
+
+    Returns:
+        :class:`BaumWelchResult`; ``log_likelihoods[i]`` is the total
+        log-likelihood under the parameters *before* sweep i's update, so
+        the list is non-decreasing for a correct implementation.
+    """
+    if not sequences:
+        raise LearningError("baum_welch needs at least one sequence")
+    model = initial_model.copy()
+    n, m = model.n_states, model.n_symbols
+    history: list[float] = []
+    converged = False
+    for _ in range(max_iterations):
+        pi_acc = np.full(n, pseudo_count)
+        a_acc = np.full((n, n), pseudo_count)
+        b_acc = np.full((n, m), pseudo_count)
+        total_ll = 0.0
+        for sequence in sequences:
+            result = forward_backward(model, sequence)
+            total_ll += result.log_likelihood
+            pi_acc += result.gamma[0]
+            a_acc += result.xi_sum
+            obs = np.asarray(sequence, dtype=np.int64)
+            for symbol in range(m):
+                mask = obs == symbol
+                if mask.any():
+                    b_acc[:, symbol] += result.gamma[mask].sum(axis=0)
+        history.append(total_ll)
+        model = DiscreteHmm(
+            pi_acc / pi_acc.sum(),
+            a_acc / a_acc.sum(axis=1, keepdims=True),
+            b_acc / b_acc.sum(axis=1, keepdims=True),
+            name=model.name,
+        )
+        if len(history) >= 2 and abs(history[-1] - history[-2]) < tolerance:
+            converged = True
+            break
+    return BaumWelchResult(model, history, converged)

@@ -1,0 +1,427 @@
+"""The Moa object algebra: expressions and their evaluator.
+
+Moa [16] is a structural object algebra: operators like ``map``, ``select``,
+``join``, ``nest``/``unnest`` and aggregates operate on values built from the
+set/tuple/object primitives. The paper enriches this algebra with the Cobra
+video model and four extensions (video processing, HMM, DBN, rules) whose
+operators appear inside algebra expressions (Fig. 5a shows a DBN extension
+operation at the Moa level).
+
+This module gives the algebra a concrete form:
+
+* an expression AST (:class:`Expr` subclasses),
+* an environment-based evaluator (:func:`evaluate`),
+* an extension operator registry (:class:`ExtensionRegistry` lives in
+  :mod:`repro.moa.extension`; ``Apply`` nodes call into it).
+
+Expressions bind iteration variables by name, e.g.::
+
+    Select("c", Cmp(">", Field(Var("c"), "speed"), Const(300.0)), Var("cars"))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import MoaError, MoaTypeError
+from repro.moa.extension import ExtensionRegistry
+
+__all__ = [
+    "Expr",
+    "Const",
+    "Var",
+    "Field",
+    "MakeTuple",
+    "Cmp",
+    "Arith",
+    "BoolOp",
+    "Not",
+    "Map",
+    "Select",
+    "Join",
+    "Semijoin",
+    "Nest",
+    "Unnest",
+    "Aggregate",
+    "SetOp",
+    "The",
+    "Apply",
+    "evaluate",
+]
+
+
+class Expr:
+    """Base class for Moa expressions (plain AST; evaluation is external)."""
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal value (atomic, tuple payload, or set payload)."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """Reference to a bound variable or a named input collection."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Field(Expr):
+    """Tuple field projection: ``Field(Var("t"), "speed")``."""
+
+    source: Expr
+    name: str
+
+
+@dataclass(frozen=True)
+class MakeTuple(Expr):
+    """Construct a tuple payload from named sub-expressions."""
+
+    fields: tuple[tuple[str, Expr], ...]
+
+    @staticmethod
+    def of(**fields: Expr) -> "MakeTuple":
+        return MakeTuple(tuple(fields.items()))
+
+
+@dataclass(frozen=True)
+class Cmp(Expr):
+    """Comparison: op in {=, !=, <, <=, >, >=}."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Arith(Expr):
+    """Arithmetic: op in {+, -, *, /}."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class BoolOp(Expr):
+    """Short-circuit boolean combination: op in {and, or}."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Map(Expr):
+    """``map(λvar. body, source)`` — transform every element of a set."""
+
+    var: str
+    body: Expr
+    source: Expr
+
+
+@dataclass(frozen=True)
+class Select(Expr):
+    """``select(λvar. pred, source)`` — keep elements satisfying pred."""
+
+    var: str
+    pred: Expr
+    source: Expr
+
+
+@dataclass(frozen=True)
+class Join(Expr):
+    """Theta-join producing ``result`` tuples for matching pairs."""
+
+    left_var: str
+    right_var: str
+    pred: Expr
+    left: Expr
+    right: Expr
+    result: Expr
+
+
+@dataclass(frozen=True)
+class Semijoin(Expr):
+    """Keep left elements that match at least one right element."""
+
+    left_var: str
+    right_var: str
+    pred: Expr
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Nest(Expr):
+    """Group a set of tuples by key fields, nesting the rest.
+
+    Produces tuples with the key fields plus ``group_field`` holding the set
+    of residual tuples.
+    """
+
+    source: Expr
+    keys: tuple[str, ...]
+    group_field: str
+
+
+@dataclass(frozen=True)
+class Unnest(Expr):
+    """Flatten a nested set field back into the parent tuples."""
+
+    source: Expr
+    set_field: str
+
+
+@dataclass(frozen=True)
+class Aggregate(Expr):
+    """Aggregate over a set: kind in {count, sum, min, max, avg}."""
+
+    kind: str
+    source: Expr
+
+
+@dataclass(frozen=True)
+class SetOp(Expr):
+    """Set combination: op in {union, diff, intersect}."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class The(Expr):
+    """Extract the single element of a singleton set."""
+
+    source: Expr
+
+
+@dataclass(frozen=True)
+class Apply(Expr):
+    """Invoke an extension operator: ``Apply("dbn", "infer", (arg, ...))``."""
+
+    extension: str
+    operator: str
+    args: tuple[Expr, ...]
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+
+_CMP: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+_ARITH: dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+def evaluate(
+    expr: Expr,
+    env: Mapping[str, Any] | None = None,
+    extensions: ExtensionRegistry | None = None,
+) -> Any:
+    """Evaluate a Moa expression.
+
+    Args:
+        expr: the expression tree.
+        env: named inputs (collections and scalars) visible to ``Var``.
+        extensions: registry resolving ``Apply`` nodes; optional when the
+            expression uses none.
+
+    Returns:
+        Python payloads: scalars, dict tuples, and list sets.
+    """
+    scope = dict(env or {})
+    return _eval(expr, scope, extensions)
+
+
+def _eval(
+    expr: Expr, env: dict[str, Any], extensions: ExtensionRegistry | None
+) -> Any:
+    match expr:
+        case Const(value=value):
+            return value
+        case Var(name=name):
+            if name not in env:
+                raise MoaError(f"unbound Moa variable {name!r}")
+            return env[name]
+        case Field(source=source, name=name):
+            record = _eval(source, env, extensions)
+            if not isinstance(record, Mapping):
+                raise MoaTypeError(f"field access {name!r} on non-tuple {record!r}")
+            if name not in record:
+                raise MoaTypeError(
+                    f"tuple has no field {name!r}; fields: {sorted(record)}"
+                )
+            return record[name]
+        case MakeTuple(fields=fields):
+            return {name: _eval(sub, env, extensions) for name, sub in fields}
+        case Cmp(op=op, left=left, right=right):
+            if op not in _CMP:
+                raise MoaError(f"unknown comparison {op!r}")
+            return _CMP[op](_eval(left, env, extensions), _eval(right, env, extensions))
+        case Arith(op=op, left=left, right=right):
+            if op not in _ARITH:
+                raise MoaError(f"unknown arithmetic op {op!r}")
+            return _ARITH[op](
+                _eval(left, env, extensions), _eval(right, env, extensions)
+            )
+        case BoolOp(op=op, left=left, right=right):
+            lhs = bool(_eval(left, env, extensions))
+            if op == "and":
+                return lhs and bool(_eval(right, env, extensions))
+            if op == "or":
+                return lhs or bool(_eval(right, env, extensions))
+            raise MoaError(f"unknown boolean op {op!r}")
+        case Not(operand=operand):
+            return not _eval(operand, env, extensions)
+        case Map(var=var, body=body, source=source):
+            return [
+                _eval(body, {**env, var: element}, extensions)
+                for element in _as_set(_eval(source, env, extensions))
+            ]
+        case Select(var=var, pred=pred, source=source):
+            return [
+                element
+                for element in _as_set(_eval(source, env, extensions))
+                if _eval(pred, {**env, var: element}, extensions)
+            ]
+        case Join(
+            left_var=lv, right_var=rv, pred=pred, left=left, right=right, result=result
+        ):
+            left_set = _as_set(_eval(left, env, extensions))
+            right_set = _as_set(_eval(right, env, extensions))
+            out = []
+            for a in left_set:
+                for b in right_set:
+                    bound = {**env, lv: a, rv: b}
+                    if _eval(pred, bound, extensions):
+                        out.append(_eval(result, bound, extensions))
+            return out
+        case Semijoin(left_var=lv, right_var=rv, pred=pred, left=left, right=right):
+            left_set = _as_set(_eval(left, env, extensions))
+            right_set = _as_set(_eval(right, env, extensions))
+            return [
+                a
+                for a in left_set
+                if any(
+                    _eval(pred, {**env, lv: a, rv: b}, extensions) for b in right_set
+                )
+            ]
+        case Nest(source=source, keys=keys, group_field=group_field):
+            return _nest(_as_set(_eval(source, env, extensions)), keys, group_field)
+        case Unnest(source=source, set_field=set_field):
+            out = []
+            for record in _as_set(_eval(source, env, extensions)):
+                if set_field not in record:
+                    raise MoaTypeError(f"tuple lacks nested field {set_field!r}")
+                for inner in _as_set(record[set_field]):
+                    merged = {k: v for k, v in record.items() if k != set_field}
+                    if isinstance(inner, Mapping):
+                        merged.update(inner)
+                    else:
+                        merged[set_field] = inner
+                    out.append(merged)
+            return out
+        case Aggregate(kind=kind, source=source):
+            return _aggregate(kind, _as_set(_eval(source, env, extensions)))
+        case SetOp(op=op, left=left, right=right):
+            return _set_op(
+                op,
+                _as_set(_eval(left, env, extensions)),
+                _as_set(_eval(right, env, extensions)),
+            )
+        case The(source=source):
+            elements = _as_set(_eval(source, env, extensions))
+            if len(elements) != 1:
+                raise MoaError(f"THE applied to a set of {len(elements)} elements")
+            return elements[0]
+        case Apply(extension=extension, operator=operator, args=args):
+            if extensions is None:
+                raise MoaError(
+                    f"expression uses extension {extension!r} but no registry given"
+                )
+            values = [_eval(a, env, extensions) for a in args]
+            return extensions.invoke(extension, operator, values)
+        case _:
+            raise MoaError(f"cannot evaluate expression node {expr!r}")
+
+
+def _as_set(value: Any) -> Sequence[Any]:
+    if isinstance(value, (list, tuple)):
+        return value
+    raise MoaTypeError(f"{value!r} is not a set payload")
+
+
+def _nest(
+    records: Sequence[Any], keys: tuple[str, ...], group_field: str
+) -> list[dict[str, Any]]:
+    groups: dict[tuple[Any, ...], list[Any]] = {}
+    order: list[tuple[Any, ...]] = []
+    for record in records:
+        if not isinstance(record, Mapping):
+            raise MoaTypeError("nest needs a set of tuples")
+        key = tuple(record[k] for k in keys)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append({k: v for k, v in record.items() if k not in keys})
+    return [
+        {**dict(zip(keys, key)), group_field: groups[key]} for key in order
+    ]
+
+
+def _aggregate(kind: str, elements: Sequence[Any]) -> Any:
+    if kind == "count":
+        return len(elements)
+    if not elements:
+        raise MoaError(f"aggregate {kind!r} over an empty set")
+    if kind == "sum":
+        return sum(elements)
+    if kind == "min":
+        return min(elements)
+    if kind == "max":
+        return max(elements)
+    if kind == "avg":
+        return sum(elements) / len(elements)
+    raise MoaError(f"unknown aggregate {kind!r}")
+
+
+def _set_op(op: str, left: Sequence[Any], right: Sequence[Any]) -> list[Any]:
+    def freeze(x: Any) -> Any:
+        if isinstance(x, Mapping):
+            return tuple(sorted((k, freeze(v)) for k, v in x.items()))
+        if isinstance(x, (list, tuple)):
+            return tuple(freeze(v) for v in x)
+        return x
+
+    right_keys = {freeze(x) for x in right}
+    if op == "union":
+        left_keys = {freeze(x) for x in left}
+        return list(left) + [x for x in right if freeze(x) not in left_keys]
+    if op == "diff":
+        return [x for x in left if freeze(x) not in right_keys]
+    if op == "intersect":
+        return [x for x in left if freeze(x) in right_keys]
+    raise MoaError(f"unknown set op {op!r}")

@@ -1,0 +1,73 @@
+"""Moa extensions: named operator bundles pluggable into the algebra.
+
+The paper's logical level has four extensions — video processing / feature
+extraction, HMM, DBN, and rules. Each defines Moa-level *structures and
+operators*; each operator is supported at the physical level by a MIL
+procedure or a MEL module command (Fig. 5 traces one DBN operation through
+all three levels).
+
+A :class:`MoaExtension` here declares:
+
+* ``name`` — the extension name used by ``Apply`` nodes,
+* ``operators()`` — logical-level operators as Python callables,
+* ``monet_module()`` — the optional physical-level MEL module, which a
+  :class:`repro.cobra.vdbms.CobraVDBMS` loads into its kernel so the same
+  functionality is reachable from MIL.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.errors import MoaError
+from repro.monet.module import MonetModule
+
+__all__ = ["MoaExtension", "ExtensionRegistry"]
+
+
+class MoaExtension:
+    """Base class for logical-level extensions."""
+
+    #: Extension name, used as the namespace in ``Apply`` nodes.
+    name: str = "extension"
+
+    def operators(self) -> dict[str, Callable[..., Any]]:
+        """Return the operator table (operator name -> callable)."""
+        raise NotImplementedError
+
+    def monet_module(self) -> MonetModule | None:
+        """Physical-level counterpart module, if the extension has one."""
+        return None
+
+
+class ExtensionRegistry:
+    """Holds loaded extensions and dispatches ``Apply`` invocations."""
+
+    def __init__(self) -> None:
+        self._extensions: dict[str, MoaExtension] = {}
+
+    def register(self, extension: MoaExtension) -> None:
+        if extension.name in self._extensions:
+            raise MoaError(f"extension {extension.name!r} already registered")
+        self._extensions[extension.name] = extension
+
+    def get(self, name: str) -> MoaExtension:
+        try:
+            return self._extensions[name]
+        except KeyError:
+            raise MoaError(f"unknown extension {name!r}") from None
+
+    def names(self) -> list[str]:
+        return sorted(self._extensions)
+
+    def operators(self, extension: str) -> list[str]:
+        return sorted(self.get(extension).operators())
+
+    def invoke(self, extension: str, operator: str, args: Sequence[Any]) -> Any:
+        table = self.get(extension).operators()
+        if operator not in table:
+            raise MoaError(
+                f"extension {extension!r} has no operator {operator!r}; "
+                f"available: {sorted(table)}"
+            )
+        return table[operator](*args)

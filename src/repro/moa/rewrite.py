@@ -1,0 +1,253 @@
+"""Rewriting Moa expressions into MIL plans.
+
+"For each Moa operation, there is a program written using an interface
+language understood by the physical layer. In our system, a Moa query is
+rewritten into Monet Interface Language (MIL)." — §3 of the paper.
+
+:class:`MoaCompiler` implements that rewriting for the BAT-representable
+algebra subset (pipelines of ``Select``/``Map``/``Aggregate``/``SetOp`` over
+sets of atomics). The compiler emits a MIL ``PROC`` whose body is a chain of
+bulk kernel commands, registers it with a kernel, and executes it — the same
+compile-then-ship pathway the Cobra executor uses for feature-level
+predicates, keeping bulk work out of the Python interpreter loop.
+
+The bulk commands themselves (Monet's multiplexed operators, ``[+]`` and
+friends, here spelled ``mmap``/``mselect``/``maggr``) are provided by
+:class:`BulkModule`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.errors import MoaError
+from repro.moa.algebra import Aggregate, Arith, Cmp, Const, Expr, Map, Select, SetOp, Var
+from repro.monet.bat import BAT
+from repro.monet.kernel import MonetKernel
+from repro.monet.module import MonetModule, command
+
+__all__ = ["BulkModule", "MoaCompiler", "MilPlan"]
+
+_OPS_CMP = {"=", "!=", "<", "<=", ">", ">="}
+_OPS_ARITH = {"+", "-", "*", "/"}
+
+
+class BulkModule(MonetModule):
+    """Physical-level bulk operators backing the Moa→MIL rewriting.
+
+    These mirror Monet's multiplexed operators: each consumes and produces
+    whole BATs using vectorized numpy kernels on the tail column.
+    """
+
+    name = "bulk"
+
+    @command()
+    def mselect(self, bat: BAT, op: str, value: Any) -> BAT:
+        """Keep associations whose tail satisfies ``tail <op> value``."""
+        if op not in _OPS_CMP:
+            raise MoaError(f"mselect: unknown comparison {op!r}")
+        tails = bat.tail_array()
+        heads = bat.heads()
+        if tails.dtype == object:
+            mask = [_compare(op, t, value) for t in tails]
+        else:
+            mask = _vector_compare(op, tails, value)
+        out = BAT("oid" if bat.head_type == "void" else bat.head_type, bat.tail_type)
+        out.insert_bulk(
+            list(itertools.compress(heads, mask)),
+            list(itertools.compress(bat.tails(), mask)),
+        )
+        return out
+
+    @command()
+    def mmap(self, bat: BAT, op: str, value: Any) -> BAT:
+        """Elementwise arithmetic on the tail column (Monet ``[+]`` style)."""
+        if op not in _OPS_ARITH:
+            raise MoaError(f"mmap: unknown arithmetic op {op!r}")
+        tails = bat.tail_array()
+        if tails.dtype == object:
+            raise MoaError("mmap needs a numeric tail column")
+        result = _vector_arith(op, tails.astype(np.float64), value)
+        out = BAT("oid" if bat.head_type == "void" else bat.head_type, "dbl")
+        out.insert_bulk(bat.heads(), result.tolist())
+        return out
+
+    @command()
+    def maggr(self, bat: BAT, kind: str) -> Any:
+        """Aggregate the tail column: count/sum/min/max/avg."""
+        if kind == "count":
+            return bat.count()
+        if kind == "sum":
+            return bat.sum()
+        if kind == "min":
+            return bat.min()
+        if kind == "max":
+            return bat.max()
+        if kind == "avg":
+            return bat.avg()
+        raise MoaError(f"maggr: unknown aggregate {kind!r}")
+
+    @command()
+    def msetop(self, op: str, left: BAT, right: BAT) -> BAT:
+        """Head-based set combination of two BATs."""
+        if op == "union":
+            return left.kunion(right)
+        if op == "diff":
+            return left.kdiff(right)
+        if op == "intersect":
+            return left.semijoin(right)
+        raise MoaError(f"msetop: unknown set op {op!r}")
+
+
+def _compare(op: str, a: Any, b: Any) -> bool:
+    table = {
+        "=": a == b,
+        "!=": a != b,
+        "<": a < b,
+        "<=": a <= b,
+        ">": a > b,
+        ">=": a >= b,
+    }
+    return bool(table[op])
+
+
+def _vector_compare(op: str, tails: np.ndarray, value: Any) -> np.ndarray:
+    table = {
+        "=": tails == value,
+        "!=": tails != value,
+        "<": tails < value,
+        "<=": tails <= value,
+        ">": tails > value,
+        ">=": tails >= value,
+    }
+    return table[op]
+
+
+def _vector_arith(op: str, tails: np.ndarray, value: float) -> np.ndarray:
+    table = {
+        "+": tails + value,
+        "-": tails - value,
+        "*": tails * value,
+        "/": tails / value,
+    }
+    return table[op]
+
+
+@dataclass(frozen=True)
+class MilPlan:
+    """A compiled plan: the emitted MIL source and its entry procedure."""
+
+    proc_name: str
+    mil_source: str
+    input_names: tuple[str, ...]
+
+
+class MoaCompiler:
+    """Compiles the BAT-representable Moa subset into MIL procedures.
+
+    Supported shapes (composable): ``Var`` leaves naming input BATs,
+    ``Select(var, Cmp(op, Var(var), Const))``, ``Map(var, Arith(op,
+    Var(var), Const))``, ``Aggregate(kind, sub)``, and ``SetOp`` over two
+    sub-plans. Anything else falls outside the compilable subset and raises
+    :class:`MoaError` — the Cobra executor then evaluates it at the logical
+    level instead.
+    """
+
+    def __init__(self, kernel: MonetKernel):
+        self._kernel = kernel
+        if not kernel.has_command("mselect"):
+            kernel.load_module(BulkModule())
+        self._counter = 0
+
+    def compile(self, expr: Expr) -> MilPlan:
+        """Emit a MIL PROC computing ``expr`` and register it on the kernel."""
+        inputs: list[str] = []
+        body_lines: list[str] = []
+        temp_counter = [0]
+
+        def emit(sub: Expr) -> str:
+            match sub:
+                case Var(name=name):
+                    if name not in inputs:
+                        inputs.append(name)
+                    return name
+                case Select(var=var, pred=Cmp(op=op, left=Var(name=lv), right=Const(value=value)), source=source) if lv == var:
+                    src = emit(source)
+                    tmp = _fresh(temp_counter)
+                    body_lines.append(
+                        f"VAR {tmp} := mselect({src}, {_quote(op)}, {_literal(value)});"
+                    )
+                    return tmp
+                case Map(var=var, body=Arith(op=op, left=Var(name=lv), right=Const(value=value)), source=source) if lv == var:
+                    src = emit(source)
+                    tmp = _fresh(temp_counter)
+                    body_lines.append(
+                        f"VAR {tmp} := mmap({src}, {_quote(op)}, {_literal(value)});"
+                    )
+                    return tmp
+                case Aggregate(kind=kind, source=source):
+                    src = emit(source)
+                    tmp = _fresh(temp_counter)
+                    body_lines.append(f"VAR {tmp} := maggr({src}, {_quote(kind)});")
+                    return tmp
+                case SetOp(op=op, left=left, right=right):
+                    lsrc = emit(left)
+                    rsrc = emit(right)
+                    tmp = _fresh(temp_counter)
+                    body_lines.append(
+                        f"VAR {tmp} := msetop({_quote(op)}, {lsrc}, {rsrc});"
+                    )
+                    return tmp
+                case _:
+                    raise MoaError(
+                        f"expression node {type(sub).__name__} is outside the "
+                        f"MIL-compilable Moa subset"
+                    )
+
+        result_var = emit(expr)
+        proc_name = f"moaPlan{self._counter}"
+        self._counter += 1
+        params = ", ".join(f"BAT[void,dbl] {name}" for name in inputs)
+        body = "\n".join(f"  {line}" for line in body_lines)
+        source = (
+            f"PROC {proc_name}({params}) : any := {{\n"
+            f"{body}\n"
+            f"  RETURN {result_var};\n"
+            f"}}\n"
+        )
+        self._kernel.run(source)
+        return MilPlan(proc_name, source, tuple(inputs))
+
+    def execute(self, plan: MilPlan, **inputs: BAT) -> Any:
+        """Run a compiled plan with the named input BATs."""
+        missing = [name for name in plan.input_names if name not in inputs]
+        if missing:
+            raise MoaError(f"plan {plan.proc_name} is missing inputs {missing}")
+        args = [inputs[name] for name in plan.input_names]
+        return self._kernel.call(plan.proc_name, args)
+
+    def run(self, expr: Expr, **inputs: BAT) -> Any:
+        """Compile and execute in one step."""
+        return self.execute(self.compile(expr), **inputs)
+
+
+def _fresh(counter: list[int]) -> str:
+    name = f"t{counter[0]}"
+    counter[0] += 1
+    return name
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', '\\"') + '"'
+
+
+def _literal(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        return _quote(value)
+    return repr(float(value)) if isinstance(value, float) else repr(value)

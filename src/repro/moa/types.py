@@ -1,0 +1,151 @@
+"""Moa structure types.
+
+The Moa object algebra accepts all base (atom) types of the underlying
+physical storage and combines them orthogonally with three structure
+primitives: **set**, **tuple**, and **object** — the type system of [16]
+(Boncz, Wilschut, Kersten) that the paper uses at the logical level.
+
+Types are immutable value objects; :func:`typecheck` verifies that a Python
+payload conforms to a structure, which the algebra evaluator uses to keep the
+logical level honest about what it passes down to BATs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.errors import MoaTypeError
+from repro.monet.atoms import ATOMS
+
+__all__ = ["MoaType", "Atomic", "SetOf", "TupleOf", "ObjectOf", "typecheck"]
+
+
+class MoaType:
+    """Base class for Moa structure types."""
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Atomic(MoaType):
+    """A base type drawn from the kernel atom registry (``int``, ``dbl``...)."""
+
+    atom_name: str
+
+    def __post_init__(self) -> None:
+        if self.atom_name not in ATOMS:
+            raise MoaTypeError(f"unknown atom type {self.atom_name!r}")
+
+    def describe(self) -> str:
+        return self.atom_name
+
+
+@dataclass(frozen=True)
+class SetOf(MoaType):
+    """A homogeneous set (realized as a sequence; Moa sets are multisets)."""
+
+    element: MoaType
+
+    def describe(self) -> str:
+        return f"SET<{self.element.describe()}>"
+
+
+class TupleOf(MoaType):
+    """A named-field record; field order is significant for display only."""
+
+    def __init__(self, fields: Mapping[str, MoaType]):
+        if not fields:
+            raise MoaTypeError("TupleOf needs at least one field")
+        self._fields = dict(fields)
+
+    @property
+    def fields(self) -> dict[str, MoaType]:
+        return dict(self._fields)
+
+    def field(self, name: str) -> MoaType:
+        try:
+            return self._fields[name]
+        except KeyError:
+            raise MoaTypeError(
+                f"tuple has no field {name!r}; fields are {sorted(self._fields)}"
+            ) from None
+
+    def describe(self) -> str:
+        inner = ", ".join(
+            f"{name}: {ftype.describe()}" for name, ftype in self._fields.items()
+        )
+        return f"TUPLE<{inner}>"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TupleOf) and self._fields == other._fields
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted((k, v.describe()) for k, v in self._fields.items())))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()
+
+
+@dataclass(frozen=True)
+class ObjectOf(MoaType):
+    """An object: a class name plus a tuple-structured state.
+
+    Objects carry identity (an oid at the physical level); in this model the
+    identity lives in the payload as the ``"oid"`` entry that
+    :func:`typecheck` requires.
+    """
+
+    class_name: str
+    state: TupleOf
+
+    def describe(self) -> str:
+        return f"OBJECT<{self.class_name}: {self.state.describe()}>"
+
+
+_PY_KINDS: dict[str, tuple[type, ...]] = {
+    "oid": (int,),
+    "void": (int,),
+    "int": (int,),
+    "flt": (float, int),
+    "dbl": (float, int),
+    "str": (str,),
+    "bit": (bool,),
+    "chr": (str,),
+    "any": (object,),
+}
+
+
+def typecheck(value: Any, moa_type: MoaType) -> None:
+    """Raise :class:`MoaTypeError` unless ``value`` conforms to ``moa_type``."""
+    if isinstance(moa_type, Atomic):
+        kinds = _PY_KINDS.get(moa_type.atom_name, (object,))
+        if isinstance(value, bool) and moa_type.atom_name not in ("bit", "any"):
+            raise MoaTypeError(f"bool {value!r} is not a {moa_type.atom_name} atom")
+        if not isinstance(value, kinds):
+            raise MoaTypeError(
+                f"{value!r} is not a {moa_type.atom_name} atom"
+            )
+        return
+    if isinstance(moa_type, SetOf):
+        if not isinstance(value, (list, tuple)):
+            raise MoaTypeError(f"{value!r} is not a set payload")
+        for element in value:
+            typecheck(element, moa_type.element)
+        return
+    if isinstance(moa_type, TupleOf):
+        if not isinstance(value, Mapping):
+            raise MoaTypeError(f"{value!r} is not a tuple payload")
+        for name, ftype in moa_type.fields.items():
+            if name not in value:
+                raise MoaTypeError(f"tuple payload is missing field {name!r}")
+            typecheck(value[name], ftype)
+        return
+    if isinstance(moa_type, ObjectOf):
+        if not isinstance(value, Mapping) or "oid" not in value:
+            raise MoaTypeError("object payloads need an 'oid' identity entry")
+        typecheck(value["oid"], Atomic("oid"))
+        typecheck({k: v for k, v in value.items() if k != "oid"}, moa_type.state)
+        return
+    raise MoaTypeError(f"unknown Moa type {moa_type!r}")

@@ -1,0 +1,389 @@
+"""Binary Association Tables (BATs).
+
+Monet's storage model is fully decomposed: every persistent structure is a
+*Binary Association Table*, a two-column table of (head, tail) associations.
+Wider relations are modelled as groups of BATs that share head oids. This
+module implements the BAT together with the classic kernel operators used by
+the paper's MIL snippets (``insert``, ``reverse``, ``find``, ``select``,
+``join``, ``max`` ...).
+
+The implementation favours clarity over raw speed but keeps tails of numeric
+BATs convertible to numpy arrays in one call (:meth:`BAT.tail_array`), which
+is what the feature-extraction extensions use for bulk processing.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import BatError
+from repro.monet.atoms import ATOMS, Atom
+
+__all__ = ["BAT", "new_bat"]
+
+_NUMERIC_ATOMS = {"oid", "void", "int", "flt", "dbl"}
+
+#: Sentinel distinguishing ``select(v)`` from ``select(lo, hi)``.
+_MISSING = object()
+
+
+class BAT:
+    """A two-column (head, tail) association table.
+
+    Args:
+        head_type: atom-type name of the head column. ``"void"`` declares a
+            dense oid sequence: single-argument inserts auto-assign heads.
+        tail_type: atom-type name of the tail column.
+        name: optional catalog name, set when the BAT is persisted.
+
+    BATs are safe for concurrent *inserts* from the MIL parallel block (a
+    single mutex guards mutation); reads during concurrent mutation are not
+    synchronized, matching Monet's bulk-processing usage.
+    """
+
+    def __init__(self, head_type: str, tail_type: str, name: str | None = None):
+        self._head_atom: Atom = ATOMS.get(head_type)
+        self._tail_atom: Atom = ATOMS.get(tail_type)
+        self._head: list[Any] = []
+        self._tail: list[Any] = []
+        self._lock = threading.Lock()
+        self.name = name
+        self._next_oid = 0
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def head_type(self) -> str:
+        return self._head_atom.name
+
+    @property
+    def tail_type(self) -> str:
+        return self._tail_atom.name
+
+    def count(self) -> int:
+        """Number of associations (MIL ``b.count``)."""
+        return len(self._head)
+
+    def __len__(self) -> int:
+        return len(self._head)
+
+    def __iter__(self) -> Iterator[tuple[Any, Any]]:
+        return iter(zip(self._head, self._tail))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or "<transient>"
+        return (
+            f"BAT[{self.head_type},{self.tail_type}] {label} "
+            f"({len(self)} associations)"
+        )
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert(self, *args: Any) -> "BAT":
+        """Insert one association.
+
+        ``b.insert(tail)`` is valid only for void-headed BATs and assigns the
+        next dense oid; ``b.insert(head, tail)`` inserts an explicit pair.
+        Returns ``self`` so MIL call-chains work.
+        """
+        if len(args) == 1:
+            if self.head_type != "void":
+                raise BatError(
+                    f"single-argument insert needs a void head, not {self.head_type}"
+                )
+            with self._lock:
+                self._head.append(self._next_oid)
+                self._next_oid += 1
+                self._tail.append(self._tail_atom.coerce(args[0]))
+            return self
+        if len(args) != 2:
+            raise BatError(f"insert takes 1 or 2 arguments, got {len(args)}")
+        head, tail = args
+        with self._lock:
+            self._head.append(self._head_atom.coerce(head))
+            self._tail.append(self._tail_atom.coerce(tail))
+        return self
+
+    def insert_bulk(self, heads: Iterable[Any] | None, tails: Iterable[Any]) -> "BAT":
+        """Bulk insert; ``heads=None`` auto-assigns dense oids (void head)."""
+        tails = list(tails)
+        if heads is None:
+            if self.head_type != "void":
+                raise BatError("bulk insert without heads needs a void head")
+            with self._lock:
+                start = self._next_oid
+                self._head.extend(range(start, start + len(tails)))
+                self._next_oid = start + len(tails)
+                self._tail.extend(self._tail_atom.coerce(t) for t in tails)
+            return self
+        heads = list(heads)
+        if len(heads) != len(tails):
+            raise BatError(
+                f"bulk insert arity mismatch: {len(heads)} heads, {len(tails)} tails"
+            )
+        with self._lock:
+            self._head.extend(self._head_atom.coerce(h) for h in heads)
+            self._tail.extend(self._tail_atom.coerce(t) for t in tails)
+        return self
+
+    def delete(self, head: Any) -> "BAT":
+        """Delete all associations whose head equals ``head``."""
+        key = self._head_atom.coerce(head)
+        with self._lock:
+            keep = [i for i, h in enumerate(self._head) if h != key]
+            self._head = [self._head[i] for i in keep]
+            self._tail = [self._tail[i] for i in keep]
+        return self
+
+    def replace(self, head: Any, tail: Any) -> "BAT":
+        """Replace the tail of the first association with the given head."""
+        key = self._head_atom.coerce(head)
+        value = self._tail_atom.coerce(tail)
+        with self._lock:
+            for i, h in enumerate(self._head):
+                if h == key:
+                    self._tail[i] = value
+                    return self
+        raise BatError(f"replace: head {head!r} not present")
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def find(self, head: Any) -> Any:
+        """Return the tail of the first association with the given head.
+
+        This is the MIL ``b.find(v)`` used in Fig. 4 of the paper to map the
+        best HMM score back to its model name via ``b.reverse.find``.
+        """
+        key = self._head_atom.coerce(head)
+        for h, t in zip(self._head, self._tail):
+            if _eq(h, key):
+                return t
+        raise BatError(f"find: head {head!r} not present")
+
+    def exist(self, head: Any) -> bool:
+        key = self._head_atom.coerce(head)
+        return any(_eq(h, key) for h in self._head)
+
+    def fetch(self, position: int) -> tuple[Any, Any]:
+        """Positional access (MIL ``b.fetch(i)``)."""
+        try:
+            return self._head[position], self._tail[position]
+        except IndexError:
+            raise BatError(
+                f"fetch: position {position} out of range 0..{len(self) - 1}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # unary operators
+    # ------------------------------------------------------------------
+    def reverse(self) -> "BAT":
+        """Return the BAT with head and tail columns swapped."""
+        head_type = "oid" if self.head_type == "void" else self.head_type
+        out = BAT(self.tail_type if self.tail_type != "void" else "oid", head_type)
+        out._head = list(self._tail)
+        out._tail = list(self._head)
+        return out
+
+    def mirror(self) -> "BAT":
+        """Return a [head, head] BAT (Monet ``mirror``)."""
+        head_type = "oid" if self.head_type == "void" else self.head_type
+        out = BAT(head_type, head_type)
+        out._head = list(self._head)
+        out._tail = list(self._head)
+        return out
+
+    def mark(self, base: int = 0) -> "BAT":
+        """Replace tails with a dense oid sequence starting at ``base``."""
+        out = BAT(self.head_type if self.head_type != "void" else "oid", "oid")
+        out._head = list(self._head)
+        out._tail = list(range(base, base + len(self)))
+        return out
+
+    def copy(self, name: str | None = None) -> "BAT":
+        out = BAT(self.head_type, self.tail_type, name=name)
+        out._head = list(self._head)
+        out._tail = list(self._tail)
+        out._next_oid = self._next_oid
+        return out
+
+    def slice(self, lo: int, hi: int) -> "BAT":
+        """Positional slice [lo, hi) preserving types."""
+        out = BAT(self.head_type, self.tail_type)
+        out._head = self._head[lo:hi]
+        out._tail = self._tail[lo:hi]
+        return out
+
+    def unique(self) -> "BAT":
+        """Drop duplicate (head, tail) pairs, keeping first occurrences."""
+        out = BAT(self.head_type, self.tail_type)
+        seen: set[tuple[Any, Any]] = set()
+        for h, t in zip(self._head, self._tail):
+            if (h, t) not in seen:
+                seen.add((h, t))
+                out._head.append(h)
+                out._tail.append(t)
+        return out
+
+    def sort(self, reverse: bool = False) -> "BAT":
+        """Return a copy ordered by tail value."""
+        order = sorted(range(len(self)), key=lambda i: self._tail[i], reverse=reverse)
+        out = BAT(self.head_type, self.tail_type)
+        out._head = [self._head[i] for i in order]
+        out._tail = [self._tail[i] for i in order]
+        return out
+
+    # ------------------------------------------------------------------
+    # selection
+    # ------------------------------------------------------------------
+    def select(self, lo: Any, hi: Any = _MISSING) -> "BAT":
+        """Select associations by tail value.
+
+        ``b.select(v)`` keeps tails equal to ``v``; ``b.select(lo, hi)`` keeps
+        tails in the closed interval [lo, hi] (Monet range-select semantics).
+        """
+        out = BAT(self.head_type if self.head_type != "void" else "oid", self.tail_type)
+        if hi is _MISSING:
+            key = self._tail_atom.coerce(lo)
+            pairs = [(h, t) for h, t in zip(self._head, self._tail) if _eq(t, key)]
+        else:
+            lo_v = self._tail_atom.coerce(lo)
+            hi_v = self._tail_atom.coerce(hi)
+            pairs = [
+                (h, t)
+                for h, t in zip(self._head, self._tail)
+                if lo_v <= t <= hi_v
+            ]
+        for h, t in pairs:
+            out._head.append(h)
+            out._tail.append(t)
+        return out
+
+    def filter_tail(self, predicate: Callable[[Any], bool]) -> "BAT":
+        """Keep associations whose tail satisfies an arbitrary predicate."""
+        out = BAT(self.head_type if self.head_type != "void" else "oid", self.tail_type)
+        for h, t in zip(self._head, self._tail):
+            if predicate(t):
+                out._head.append(h)
+                out._tail.append(t)
+        return out
+
+    # ------------------------------------------------------------------
+    # binary operators
+    # ------------------------------------------------------------------
+    def join(self, other: "BAT") -> "BAT":
+        """Equi-join self's tail with other's head: [A,B] ⋈ [B,C] → [A,C]."""
+        index: dict[Any, list[Any]] = {}
+        for h, t in zip(other._head, other._tail):
+            index.setdefault(h, []).append(t)
+        out = BAT(
+            self.head_type if self.head_type != "void" else "oid",
+            other.tail_type if other.tail_type != "void" else "oid",
+        )
+        for h, t in zip(self._head, self._tail):
+            for c in index.get(t, ()):
+                out._head.append(h)
+                out._tail.append(c)
+        return out
+
+    def semijoin(self, other: "BAT") -> "BAT":
+        """Keep self's associations whose head occurs in other's head."""
+        keys = set(other._head)
+        out = BAT(self.head_type if self.head_type != "void" else "oid", self.tail_type)
+        for h, t in zip(self._head, self._tail):
+            if h in keys:
+                out._head.append(h)
+                out._tail.append(t)
+        return out
+
+    def kdiff(self, other: "BAT") -> "BAT":
+        """Keep self's associations whose head does NOT occur in other."""
+        keys = set(other._head)
+        out = BAT(self.head_type if self.head_type != "void" else "oid", self.tail_type)
+        for h, t in zip(self._head, self._tail):
+            if h not in keys:
+                out._head.append(h)
+                out._tail.append(t)
+        return out
+
+    def kunion(self, other: "BAT") -> "BAT":
+        """Union on heads: self's pairs plus other's pairs with new heads."""
+        out = self.copy()
+        keys = set(self._head)
+        for h, t in zip(other._head, other._tail):
+            if h not in keys:
+                out._head.append(out._head_atom.coerce(h))
+                out._tail.append(out._tail_atom.coerce(t))
+        return out
+
+    # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
+    def _require_nonempty(self, op: str) -> None:
+        if not self._tail:
+            raise BatError(f"{op} on empty BAT")
+
+    def max(self) -> Any:
+        """Maximum tail value (MIL ``b.max``)."""
+        self._require_nonempty("max")
+        return max(self._tail)
+
+    def min(self) -> Any:
+        self._require_nonempty("min")
+        return min(self._tail)
+
+    def sum(self) -> Any:
+        self._require_nonempty("sum")
+        return sum(self._tail)
+
+    def avg(self) -> float:
+        self._require_nonempty("avg")
+        return float(sum(self._tail)) / len(self._tail)
+
+    def histogram(self) -> "BAT":
+        """Return a [tail-value, count] BAT (Monet ``histogram``)."""
+        counts: dict[Any, int] = {}
+        for t in self._tail:
+            counts[t] = counts.get(t, 0) + 1
+        out = BAT(self.tail_type if self.tail_type != "void" else "oid", "int")
+        for value, n in counts.items():
+            out._head.append(value)
+            out._tail.append(n)
+        return out
+
+    # ------------------------------------------------------------------
+    # bulk views
+    # ------------------------------------------------------------------
+    def heads(self) -> list[Any]:
+        return list(self._head)
+
+    def tails(self) -> list[Any]:
+        return list(self._tail)
+
+    def tail_array(self) -> np.ndarray:
+        """Tail column as a numpy array (dtype follows the atom type)."""
+        if self.tail_type in _NUMERIC_ATOMS:
+            return np.asarray(self._tail, dtype=self._tail_atom.dtype)
+        return np.asarray(self._tail, dtype=object)
+
+    def head_array(self) -> np.ndarray:
+        if self.head_type in _NUMERIC_ATOMS:
+            return np.asarray(self._head, dtype=self._head_atom.dtype)
+        return np.asarray(self._head, dtype=object)
+
+
+def _eq(a: Any, b: Any) -> bool:
+    """Equality that treats NaN as equal to NaN (null semantics)."""
+    if isinstance(a, float) and isinstance(b, float):
+        return a == b or (np.isnan(a) and np.isnan(b))
+    return a == b
+
+
+def new_bat(head_type: str, tail_type: str) -> BAT:
+    """MIL ``new(head, tail)`` constructor."""
+    return BAT(head_type, tail_type)

@@ -1,0 +1,171 @@
+"""The Monet kernel facade.
+
+Ties together the BAT catalog, the MIL interpreter, the thread pool, and the
+MEL-style module registry into the "extensible parallel database kernel used
+at the physical level" of the paper's three-level architecture.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Sequence
+
+from repro.errors import MonetError
+from repro.monet.atoms import ATOMS, Atom
+from repro.monet.bat import BAT
+from repro.monet.mil import MilInterpreter
+from repro.monet.module import MonetModule
+from repro.monet.parallel import ParallelExecutor
+
+__all__ = ["MonetKernel"]
+
+
+class MonetKernel:
+    """An in-memory binary-relational kernel with MIL and MEL extensibility.
+
+    Typical use::
+
+        kernel = MonetKernel()
+        kernel.load_module(HmmModule(...))
+        kernel.run(mil_source)              # define PROCs
+        result = kernel.call("hmmP", bats)  # invoke one
+
+    Named BATs are persisted in the catalog and visible to MIL by name.
+    """
+
+    def __init__(self, threads: int = 2):
+        self._catalog: dict[str, BAT] = {}
+        self._modules: dict[str, MonetModule] = {}
+        self._executor = ParallelExecutor(threads=threads)
+        self._commands: dict[str, Callable[..., Any]] = {}
+        self._install_builtins()
+        self._mil = MilInterpreter(
+            commands=self._commands,
+            globals_scope=_CatalogView(self._catalog),
+            run_parallel=self._executor.run,
+        )
+
+    # ------------------------------------------------------------------
+    # catalog
+    # ------------------------------------------------------------------
+    def persist(self, name: str, bat: BAT) -> BAT:
+        """Store a BAT in the catalog under ``name`` (overwriting)."""
+        bat.name = name
+        self._catalog[name] = bat
+        return bat
+
+    def bat(self, name: str) -> BAT:
+        try:
+            return self._catalog[name]
+        except KeyError:
+            raise MonetError(f"no BAT named {name!r} in the catalog") from None
+
+    def drop(self, name: str) -> None:
+        if name not in self._catalog:
+            raise MonetError(f"no BAT named {name!r} in the catalog")
+        del self._catalog[name]
+
+    def catalog_names(self) -> list[str]:
+        return sorted(self._catalog)
+
+    # ------------------------------------------------------------------
+    # modules & commands
+    # ------------------------------------------------------------------
+    def load_module(self, module: MonetModule) -> None:
+        """Register a MEL-style module's commands and atom types."""
+        if module.name in self._modules:
+            raise MonetError(f"module {module.name!r} already loaded")
+        for atom_type in module.atoms:
+            if atom_type.name not in ATOMS:
+                ATOMS.register(atom_type)
+        for name, fn in module.commands().items():
+            if name in self._commands:
+                raise MonetError(
+                    f"command {name!r} from module {module.name!r} clashes "
+                    f"with an existing command"
+                )
+            self._commands[name] = fn
+        self._modules[module.name] = module
+
+    def register_command(self, name: str, fn: Callable[..., Any]) -> None:
+        """Register a single ad-hoc command (bypassing the module system)."""
+        if name in self._commands:
+            raise MonetError(f"command {name!r} already registered")
+        self._commands[name] = fn
+
+    def has_command(self, name: str) -> bool:
+        return name in self._commands
+
+    def module_names(self) -> list[str]:
+        return sorted(self._modules)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, mil_source: str) -> Any:
+        """Execute MIL source at global scope."""
+        return self._mil.run(mil_source)
+
+    def call(self, proc_name: str, args: Sequence[Any] = ()) -> Any:
+        """Invoke a MIL PROC defined earlier via :meth:`run`."""
+        return self._mil.call(proc_name, args)
+
+    def procedures(self) -> list[str]:
+        return sorted(self._mil.procedures)
+
+    def parallel(self, thunks: Sequence[Callable[[], Any]]) -> list[Any]:
+        """Run Python thunks on the kernel pool (used by extensions)."""
+        return self._executor.run(thunks)
+
+    @property
+    def threads(self) -> int:
+        return self._executor.threads
+
+    # ------------------------------------------------------------------
+    # builtins
+    # ------------------------------------------------------------------
+    def _install_builtins(self) -> None:
+        self._commands.update(
+            {
+                "threadcnt": self._executor.threadcnt,
+                "print": _mil_print,
+                "abs": abs,
+                "sqrt": math.sqrt,
+                "log": math.log,
+                "exp": math.exp,
+                "floor": math.floor,
+                "ceil": math.ceil,
+                "min2": min,
+                "max2": max,
+                "int": int,
+                "flt": float,
+                "str": str,
+                "len": len,
+                "bat": self.bat,
+                "persist": self.persist,
+            }
+        )
+
+
+class _CatalogView(dict):
+    """Global MIL scope backed by the kernel catalog.
+
+    Plain MIL globals live in the dict itself; catalog BATs shine through by
+    name so ``PROC`` bodies can reference persisted metadata directly.
+    """
+
+    def __init__(self, catalog: dict[str, BAT]):
+        super().__init__()
+        self._bat_catalog = catalog
+
+    def __contains__(self, key: object) -> bool:  # type: ignore[override]
+        return super().__contains__(key) or key in self._bat_catalog
+
+    def __getitem__(self, key: str) -> Any:
+        if super().__contains__(key):
+            return super().__getitem__(key)
+        return self._bat_catalog[key]
+
+
+def _mil_print(*args: Any) -> None:
+    print(*args)

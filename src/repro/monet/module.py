@@ -1,0 +1,71 @@
+"""MEL-style extension modules.
+
+Monet is extended with new commands through the Monet Extension Language
+(MEL). A :class:`MonetModule` is the Python analogue: a named bundle of
+commands (and optionally new atom types) that a kernel loads, after which
+the commands are callable from MIL by name. The paper's four Moa extensions
+(video processing, HMM, DBN, rules) each install one such module at the
+physical level.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import MonetError
+from repro.monet.atoms import Atom
+
+__all__ = ["MonetModule", "command"]
+
+
+def command(name: str | None = None) -> Callable:
+    """Decorator marking a :class:`MonetModule` method as a MIL command.
+
+    Args:
+        name: MIL-level command name; defaults to the method name.
+    """
+
+    def mark(fn: Callable) -> Callable:
+        fn._mil_command = name or fn.__name__  # type: ignore[attr-defined]
+        return fn
+
+    return mark
+
+
+class MonetModule:
+    """Base class for kernel extension modules.
+
+    Subclasses declare commands with the :func:`command` decorator::
+
+        class HmmModule(MonetModule):
+            name = "hmm"
+
+            @command()
+            def hmmOneCall(self, server, a, b, obs, num):
+                ...
+
+    Loading the module (``kernel.load_module(HmmModule())``) registers every
+    marked method in the kernel command table.
+    """
+
+    #: Module name used for error messages and the catalog.
+    name: str = "module"
+
+    #: Extra atom types contributed by this module.
+    atoms: tuple[Atom, ...] = ()
+
+    def commands(self) -> dict[str, Callable[..., Any]]:
+        """Collect the decorated commands of this instance."""
+        found: dict[str, Callable[..., Any]] = {}
+        for attr_name in dir(self):
+            if attr_name.startswith("_"):
+                continue
+            attr = getattr(self, attr_name)
+            mil_name = getattr(attr, "_mil_command", None)
+            if mil_name is not None:
+                if mil_name in found:
+                    raise MonetError(
+                        f"module {self.name!r} defines command {mil_name!r} twice"
+                    )
+                found[mil_name] = attr
+        return found

@@ -1,0 +1,77 @@
+"""Multi-BAT relational helpers.
+
+Monet's fully decomposed storage keeps each attribute of an n-ary relation in
+its own BAT; the BATs of one relation share head oids. These helpers
+reconstruct tuples from aligned BATs and decompose Python records back into
+BAT groups — the mechanics the Cobra metadata store is built on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import BatError
+from repro.monet.bat import BAT
+
+__all__ = ["decompose", "reconstruct", "project", "group_count"]
+
+
+def decompose(
+    records: Sequence[Mapping[str, Any]],
+    schema: Mapping[str, str],
+) -> dict[str, BAT]:
+    """Split records into one void-headed BAT per attribute.
+
+    Args:
+        records: homogeneous dicts; every schema key must be present.
+        schema: attribute name -> tail atom-type name.
+
+    Returns:
+        Mapping of attribute name to a BAT whose heads are the shared,
+        dense record oids (0..n-1).
+    """
+    bats = {attr: BAT("void", tail_type) for attr, tail_type in schema.items()}
+    for record in records:
+        for attr, bat in bats.items():
+            if attr not in record:
+                raise BatError(f"record {record!r} is missing attribute {attr!r}")
+            bat.insert(record[attr])
+    return bats
+
+
+def reconstruct(bats: Mapping[str, BAT]) -> list[dict[str, Any]]:
+    """Zip aligned BATs back into records keyed by attribute name.
+
+    All BATs must have the same heads in the same order (the invariant
+    :func:`decompose` establishes); misalignment raises :class:`BatError`.
+    """
+    if not bats:
+        return []
+    names = list(bats)
+    heads = bats[names[0]].heads()
+    for name in names[1:]:
+        if bats[name].heads() != heads:
+            raise BatError(
+                f"BAT {name!r} is not head-aligned with {names[0]!r}"
+            )
+    columns = [bats[name].tails() for name in names]
+    return [dict(zip(names, row)) for row in zip(*columns)]
+
+
+def project(bats: Mapping[str, BAT], oids: Iterable[Any]) -> list[dict[str, Any]]:
+    """Reconstruct only the records whose head oid is in ``oids``."""
+    wanted = set(oids)
+    records = reconstruct(bats)
+    if not bats:
+        return []
+    first = next(iter(bats.values()))
+    heads = first.heads()
+    return [record for head, record in zip(heads, records) if head in wanted]
+
+
+def group_count(bat: BAT) -> dict[Any, int]:
+    """Group a BAT by tail value and count members per group."""
+    counts: dict[Any, int] = {}
+    for _, tail in bat:
+        counts[tail] = counts.get(tail, 0) + 1
+    return counts

@@ -1,0 +1,72 @@
+"""Thread-pool parallelism for the kernel.
+
+Monet exposes intra-query parallelism which the paper exploits to evaluate
+six HMMs concurrently (Fig. 3/4): MIL calls ``threadcnt(7)`` and the kernel
+fans the calls out over worker threads. :class:`ParallelExecutor` reproduces
+that contract — a resizable pool plus a barrier-style ``run`` that collects
+results in submission order and re-raises the first worker error.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Sequence
+
+from repro.errors import MonetError
+
+__all__ = ["ParallelExecutor"]
+
+
+class ParallelExecutor:
+    """A resizable worker pool with ``threadcnt``-style sizing.
+
+    The MIL convention sizes the pool as *workers + 1* (``threadcnt(7)`` for
+    six parallel HMM servers plus the coordinating thread); :meth:`threadcnt`
+    keeps that convention by clamping the worker count to ``n - 1`` with a
+    minimum of one.
+    """
+
+    def __init__(self, threads: int = 2):
+        if threads < 1:
+            raise MonetError(f"thread count must be >= 1, got {threads}")
+        self._threads = threads
+        self._lock = threading.Lock()
+
+    @property
+    def threads(self) -> int:
+        return self._threads
+
+    def threadcnt(self, n: int) -> int:
+        """MIL ``threadcnt(n)``: size the pool for ``n - 1`` workers."""
+        if n < 1:
+            raise MonetError(f"threadcnt needs a positive count, got {n}")
+        with self._lock:
+            self._threads = max(1, n - 1)
+            return self._threads
+
+    def run(self, thunks: Sequence[Callable[[], Any]]) -> list[Any]:
+        """Run thunks concurrently; returns results in submission order.
+
+        A single failing thunk cancels nothing that is already running but
+        causes the first raised exception to propagate to the caller after
+        all workers have finished, so partial results never escape silently.
+        """
+        if not thunks:
+            return []
+        with self._lock:
+            workers = min(self._threads, len(thunks))
+        if workers == 1:
+            return [thunk() for thunk in thunks]
+        results: list[Any] = [None] * len(thunks)
+        errors: list[BaseException] = []
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(thunk) for thunk in thunks]
+            for index, future in enumerate(futures):
+                try:
+                    results[index] = future.result()
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    errors.append(exc)
+        if errors:
+            raise errors[0]
+        return results

@@ -1,0 +1,7 @@
+"""Content-based retrieval front-end: English-query templates and the
+assembled Formula 1 system."""
+
+from repro.retrieval.parser import english_to_coql
+from repro.retrieval.system import DOMAIN_NAME, FormulaOneSystem
+
+__all__ = ["english_to_coql", "DOMAIN_NAME", "FormulaOneSystem"]

@@ -1,0 +1,114 @@
+"""Mapping the paper's example queries (§5.6) onto COQL.
+
+The GUI of the paper composes queries graphically; this module gives the
+textual equivalent: a template matcher that turns the listed English query
+forms into :class:`~repro.cobra.query.CoqlQuery` strings. It is a
+convenience front-end — COQL remains the actual query language.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import QuerySyntaxError
+from repro.text.recognition import DRIVER_NAMES
+
+__all__ = ["english_to_coql"]
+
+#: Maps surname spellings/full names to OCR labels.
+_NAME_ALIASES = {
+    "michael schumacher": "SCHUMACHER",
+    "schumacher": "SCHUMACHER",
+    "rubens barrichello": "BARRICHELLO",
+    "barrichello": "BARRICHELLO",
+    "mika hakkinen": "HAKKINEN",
+    "hakkinen": "HAKKINEN",
+    "david coulthard": "COULTHARD",
+    "coulthard": "COULTHARD",
+    "juan pablo montoya": "MONTOYA",
+    "montoya": "MONTOYA",
+    "ralf schumacher": "RALF",
+    "ralf": "RALF",
+}
+
+
+def _find_driver(text: str) -> str | None:
+    lowered = text.lower()
+    for alias in sorted(_NAME_ALIASES, key=len, reverse=True):
+        if alias in lowered:
+            return _NAME_ALIASES[alias]
+    for name in DRIVER_NAMES:
+        if name.lower() in lowered:
+            return name
+    return None
+
+
+_ORDINALS = {"first": 1, "second": 2, "third": 3, "leading": 1}
+
+
+def english_to_coql(text: str) -> str:
+    """Translate one of the paper's example query forms into COQL.
+
+    Handles (case-insensitively):
+
+    * "Retrieve the video sequences showing the car of <driver>"
+    * "... with <driver> leading the race"
+    * "... where <driver> is first, and <driver2> is second"
+    * "... showing <driver> in the pit stop"
+    * "... with the race leader crossing the finish line"
+    * "Retrieve all fly outs [of <driver>]"
+    * "Retrieve all highlights [showing the car of <driver>]"
+    * "Retrieve all highlights at the pit line involving <driver>"
+    """
+    lowered = text.lower().strip().rstrip(".")
+    driver = _find_driver(lowered)
+
+    if "pit line" in lowered or ("highlight" in lowered and "pit" in lowered):
+        if driver is None:
+            raise QuerySyntaxError(f"no driver recognized in {text!r}")
+        return (
+            f"RETRIEVE highlight WHERE INTERSECTS pit_stop "
+            f"WITH ROLE driver = {driver}"
+        )
+    if "highlight" in lowered:
+        if driver is not None:
+            return (
+                f"RETRIEVE highlight WHERE INTERSECTS driver_mention "
+                f"WITH ROLE driver = {driver}"
+            )
+        return "RETRIEVE highlight"
+    if "fly out" in lowered or "fly-out" in lowered or "flyout" in lowered:
+        if driver is not None:
+            return f"RETRIEVE fly_out WHERE ROLE driver = {driver}"
+        return "RETRIEVE fly_out"
+    if "pit stop" in lowered:
+        if driver is None:
+            raise QuerySyntaxError(f"no driver recognized in {text!r}")
+        return f"RETRIEVE pit_stop WHERE ROLE driver = {driver}"
+    if "crossing the finish line" in lowered or "winner" in lowered:
+        return "RETRIEVE winner"
+    if "leading the race" in lowered:
+        if driver is None:
+            raise QuerySyntaxError(f"no driver recognized in {text!r}")
+        return f"RETRIEVE classification WHERE POSITION {driver} = 1"
+    # "<d1> is first, and <d2> is second"
+    pairs = []
+    for word, position in _ORDINALS.items():
+        for match in re.finditer(
+            rf"([a-z ]+?)\s+is\s+{word}", lowered
+        ):
+            candidate = _find_driver(match.group(1))
+            if candidate is not None:
+                pairs.append((candidate, position))
+    if pairs:
+        conditions = " AND ".join(
+            f"POSITION {name} = {position}" for name, position in sorted(
+                pairs, key=lambda p: p[1]
+            )
+        )
+        return f"RETRIEVE classification WHERE {conditions}"
+    if "showing the car of" in lowered or "sequences showing" in lowered:
+        if driver is None:
+            raise QuerySyntaxError(f"no driver recognized in {text!r}")
+        return f"RETRIEVE driver_mention WHERE ROLE driver = {driver}"
+    raise QuerySyntaxError(f"cannot map query {text!r} onto COQL")

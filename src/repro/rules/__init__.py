@@ -1,0 +1,10 @@
+"""Rule-based extension: forward-chaining inference with Allen-interval
+temporal predicates."""
+
+from repro.rules.engine import Fact, Pattern, Rule, RuleEngine, Var
+from repro.rules.temporal import ALLEN_RELATIONS, INVERSES, allen_relation, holds
+
+__all__ = [
+    "Fact", "Pattern", "Rule", "RuleEngine", "Var",
+    "ALLEN_RELATIONS", "INVERSES", "allen_relation", "holds",
+]

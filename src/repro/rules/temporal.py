@@ -1,0 +1,101 @@
+"""Allen interval algebra — the spatio-temporal core of the rule engine.
+
+The rule-based extension "is aimed at formalizing the descriptions of
+high-level concepts, as well as their extraction based on features and
+spatio-temporal reasoning" (§3); the UI lets a user "define new compound
+events by specifying different temporal relationships among already defined
+events" (§5.6). Allen's thirteen interval relations are that vocabulary.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RuleError
+from repro.synth.annotations import Interval
+
+__all__ = ["allen_relation", "holds", "ALLEN_RELATIONS", "INVERSES"]
+
+ALLEN_RELATIONS = (
+    "before",
+    "meets",
+    "overlaps",
+    "starts",
+    "during",
+    "finishes",
+    "equals",
+    "after",
+    "met_by",
+    "overlapped_by",
+    "started_by",
+    "contains",
+    "finished_by",
+)
+
+INVERSES = {
+    "before": "after",
+    "meets": "met_by",
+    "overlaps": "overlapped_by",
+    "starts": "started_by",
+    "during": "contains",
+    "finishes": "finished_by",
+    "equals": "equals",
+    "after": "before",
+    "met_by": "meets",
+    "overlapped_by": "overlaps",
+    "started_by": "starts",
+    "contains": "during",
+    "finished_by": "finishes",
+}
+
+
+def allen_relation(a: Interval, b: Interval, tolerance: float = 0.0) -> str:
+    """The unique Allen relation holding between intervals a and b.
+
+    Args:
+        tolerance: endpoints closer than this count as equal (media
+            timestamps are never exact).
+    """
+    def eq(x: float, y: float) -> bool:
+        return abs(x - y) <= tolerance
+
+    if eq(a.start, b.start) and eq(a.end, b.end):
+        return "equals"
+    if eq(a.end, b.start):
+        return "meets"
+    if eq(b.end, a.start):
+        return "met_by"
+    if a.end < b.start:
+        return "before"
+    if b.end < a.start:
+        return "after"
+    if eq(a.start, b.start):
+        return "starts" if a.end < b.end else "started_by"
+    if eq(a.end, b.end):
+        return "finishes" if a.start > b.start else "finished_by"
+    if a.start > b.start and a.end < b.end:
+        return "during"
+    if a.start < b.start and a.end > b.end:
+        return "contains"
+    if a.start < b.start:
+        return "overlaps"
+    return "overlapped_by"
+
+
+def holds(relation: str, a: Interval, b: Interval, tolerance: float = 0.5) -> bool:
+    """Does the named relation hold between a and b (with tolerance)?
+
+    Accepts the exact Allen names plus two practical disjunctions:
+    ``"intersects"`` (any overlap) and ``"within"`` (during/starts/
+    finishes/equals).
+    """
+    if relation == "intersects":
+        return a.overlaps(b)
+    if relation == "within":
+        return allen_relation(a, b, tolerance) in (
+            "during",
+            "starts",
+            "finishes",
+            "equals",
+        )
+    if relation not in ALLEN_RELATIONS:
+        raise RuleError(f"unknown temporal relation {relation!r}")
+    return allen_relation(a, b, tolerance) == relation

@@ -1,0 +1,359 @@
+"""Race timeline generation.
+
+A :class:`RaceSpec` describes one Grand Prix statistically (how many
+passings, fly-outs, pit stops; how visible passings are to the fixed
+camera; how often the announcer actually reacts); :func:`generate_timeline`
+expands it into a concrete, seeded event schedule with full ground truth.
+
+The spec knobs encode the properties the paper attributes to its three
+races: the German GP's camera work makes passing manoeuvres visually
+trackable (``passing_visibility`` high), the Belgian and USA GPs do not;
+the USA GP "had no fly-outs"; the announcer reacts to only part of the
+interesting events ("if we count replay scenes, recall will be about 50%"
+for the audio-only network).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SynthesisError
+from repro.synth.annotations import GroundTruth, Interval, merge_intervals
+
+__all__ = ["RaceSpec", "RaceEvent", "RaceTimeline", "generate_timeline"]
+
+#: Drivers available to the event generator (subset of the OCR lexicon).
+TIMELINE_DRIVERS = (
+    "SCHUMACHER",
+    "BARRICHELLO",
+    "HAKKINEN",
+    "COULTHARD",
+    "MONTOYA",
+    "RALF",
+)
+
+
+@dataclass(frozen=True)
+class RaceSpec:
+    """Statistical description of one Grand Prix broadcast."""
+
+    name: str
+    duration: float = 600.0
+    n_passings: int = 6
+    n_fly_outs: int = 3
+    n_pit_stops: int = 4
+    #: How visually trackable passings are (German GP camera work ~0.9,
+    #: the other races ~0.3).
+    passing_visibility: float = 0.9
+    #: Probability the announcer gets excited about an interesting event.
+    excitement_reaction: float = 0.55
+    #: Expected number of excitement bursts NOT tied to any event.
+    spurious_excitement: float = 2.0
+    #: Average seconds between hard cuts.
+    mean_shot_seconds: float = 8.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.duration < 120:
+            raise SynthesisError("races shorter than 120 s leave no room for events")
+        if not 0 <= self.passing_visibility <= 1:
+            raise SynthesisError("passing_visibility must be in [0, 1]")
+        if not 0 <= self.excitement_reaction <= 1:
+            raise SynthesisError("excitement_reaction must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class RaceEvent:
+    """One scheduled race event."""
+
+    kind: str  # "start" | "passing" | "fly_out" | "pit_stop"
+    time: float
+    duration: float
+    drivers: tuple[str, ...] = ()
+    #: Visual strength of the event's signature in [0, 1].
+    visibility: float = 1.0
+    #: Whether the announcer reacts with excited speech.
+    announced: bool = True
+
+    @property
+    def interval(self) -> Interval:
+        return Interval(self.time, self.time + self.duration, self.kind)
+
+
+@dataclass
+class RaceTimeline:
+    """The full schedule of one synthetic race."""
+
+    spec: RaceSpec
+    events: list[RaceEvent]
+    replays: list[tuple[Interval, RaceEvent]]
+    overlays: list[tuple[Interval, list[str]]]
+    excitement: list[Interval]
+    shot_cuts: list[float]
+    keywords: list[tuple[float, str]] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return self.spec.duration
+
+    def ground_truth(self) -> GroundTruth:
+        """Derive the annotation tracks from the schedule."""
+        truth = GroundTruth(duration=self.duration)
+        truth.excited_speech = merge_intervals(self.excitement, gap=0.5)
+        truth.shot_cuts = list(self.shot_cuts)
+        truth.overlays = list(self.overlays)
+        truth.replays = [interval for interval, _ in self.replays]
+        highlight_parts: list[Interval] = []
+        for event in self.events:
+            interval = event.interval
+            if event.kind == "start":
+                truth.starts.append(interval)
+            elif event.kind == "passing":
+                truth.passings.append(interval)
+            elif event.kind == "fly_out":
+                truth.fly_outs.append(interval)
+            elif event.kind == "pit_stop":
+                truth.pit_stops.append(interval)
+            if event.kind in ("start", "passing", "fly_out"):
+                highlight_parts.append(interval)
+        highlight_parts.extend(truth.replays)
+        truth.highlights = merge_intervals(highlight_parts, gap=1.0)
+        return truth
+
+
+def generate_timeline(spec: RaceSpec) -> RaceTimeline:
+    """Expand a spec into a seeded, collision-free event schedule."""
+    rng = np.random.default_rng(spec.seed)
+    events: list[RaceEvent] = []
+
+    start_time = float(rng.uniform(12.0, 20.0))
+    events.append(
+        RaceEvent("start", start_time, duration=10.0, visibility=1.0, announced=True)
+    )
+
+    slots = _draw_times(
+        rng,
+        count=spec.n_passings + spec.n_fly_outs + spec.n_pit_stops,
+        lo=start_time + 20.0,
+        hi=spec.duration - 30.0,
+        min_gap=18.0,
+    )
+    cursor = 0
+
+    for _ in range(spec.n_passings):
+        time = slots[cursor]
+        cursor += 1
+        overtaker, overtaken = rng.choice(
+            len(TIMELINE_DRIVERS), size=2, replace=False
+        )
+        events.append(
+            RaceEvent(
+                "passing",
+                time,
+                duration=float(rng.uniform(6.0, 10.0)),
+                drivers=(
+                    TIMELINE_DRIVERS[overtaker],
+                    TIMELINE_DRIVERS[overtaken],
+                ),
+                visibility=float(
+                    np.clip(rng.normal(spec.passing_visibility, 0.08), 0.0, 1.0)
+                ),
+                announced=bool(rng.random() < spec.excitement_reaction),
+            )
+        )
+
+    for _ in range(spec.n_fly_outs):
+        time = slots[cursor]
+        cursor += 1
+        driver = TIMELINE_DRIVERS[int(rng.integers(len(TIMELINE_DRIVERS)))]
+        events.append(
+            RaceEvent(
+                "fly_out",
+                time,
+                duration=float(rng.uniform(6.5, 11.0)),
+                drivers=(driver,),
+                visibility=1.0,
+                announced=bool(rng.random() < spec.excitement_reaction + 0.2),
+            )
+        )
+
+    for _ in range(spec.n_pit_stops):
+        time = slots[cursor]
+        cursor += 1
+        driver = TIMELINE_DRIVERS[int(rng.integers(len(TIMELINE_DRIVERS)))]
+        events.append(
+            RaceEvent(
+                "pit_stop",
+                time,
+                duration=float(rng.uniform(6.0, 10.0)),
+                drivers=(driver,),
+                visibility=0.5,
+                announced=False,
+            )
+        )
+
+    events.sort(key=lambda e: e.time)
+
+    replays = _schedule_replays(rng, spec, events)
+    excitement = _schedule_excitement(rng, spec, events)
+    overlays = _schedule_overlays(rng, spec, events)
+    shot_cuts = _schedule_cuts(rng, spec, events, replays)
+    keywords = _schedule_keywords(rng, events)
+
+    return RaceTimeline(
+        spec=spec,
+        events=events,
+        replays=replays,
+        overlays=overlays,
+        excitement=excitement,
+        shot_cuts=shot_cuts,
+        keywords=keywords,
+    )
+
+
+def _draw_times(
+    rng: np.random.Generator,
+    count: int,
+    lo: float,
+    hi: float,
+    min_gap: float,
+) -> list[float]:
+    """Random event times with a minimum pairwise gap."""
+    if count == 0:
+        return []
+    span = hi - lo
+    if span < count * min_gap:
+        raise SynthesisError(
+            f"cannot place {count} events with gap {min_gap} in {span:.0f} s"
+        )
+    # Draw in gap-free coordinates, then re-inflate: uniform order statistics.
+    free = span - (count - 1) * min_gap
+    offsets = np.sort(rng.uniform(0.0, free, size=count))
+    return [float(lo + offsets[i] + i * min_gap) for i in range(count)]
+
+
+def _schedule_replays(
+    rng: np.random.Generator, spec: RaceSpec, events: list[RaceEvent]
+) -> list[tuple[Interval, RaceEvent]]:
+    """Every start/passing/fly-out gets a replay a few seconds after."""
+    out: list[tuple[Interval, RaceEvent]] = []
+    for event in events:
+        if event.kind not in ("start", "passing", "fly_out"):
+            continue
+        begin = event.time + event.duration + float(rng.uniform(1.0, 2.5))
+        length = float(rng.uniform(5.0, 9.0))
+        end = min(begin + length, spec.duration - 1.0)
+        if end - begin >= 3.0:
+            out.append((Interval(begin, end, f"replay:{event.kind}"), event))
+    return out
+
+
+def _schedule_excitement(
+    rng: np.random.Generator, spec: RaceSpec, events: list[RaceEvent]
+) -> list[Interval]:
+    """Excited-speech intervals: reactions to events plus spurious bursts."""
+    out: list[Interval] = []
+    for event in events:
+        if event.announced:
+            begin = event.time + float(rng.uniform(0.0, 1.5))
+            length = float(rng.uniform(3.0, event.duration + 4.0))
+            out.append(Interval(begin, min(begin + length, spec.duration), "reaction"))
+    n_spurious = int(rng.poisson(spec.spurious_excitement))
+    for _ in range(n_spurious):
+        begin = float(rng.uniform(30.0, spec.duration - 10.0))
+        out.append(Interval(begin, begin + float(rng.uniform(2.0, 4.0)), "spurious"))
+    return out
+
+
+def _schedule_overlays(
+    rng: np.random.Generator, spec: RaceSpec, events: list[RaceEvent]
+) -> list[tuple[Interval, list[str]]]:
+    """Superimposed-text schedule: classifications, pit stops, winner."""
+    out: list[tuple[Interval, list[str]]] = []
+    order = list(TIMELINE_DRIVERS)
+    rng.shuffle(order)
+    lap = 1
+    # periodic classifications (lap counters shown separately: the chyron
+    # line must fit the frame width)
+    time = 40.0
+    while time < spec.duration - 40.0:
+        words = ["1", order[0], "2", order[1]]
+        out.append((Interval(time, time + 4.0, "classification"), words))
+        out.append((Interval(time + 4.5, time + 7.0, "lap"), ["LAP", str(lap)]))
+        # passings reorder the classification
+        for event in events:
+            if event.kind == "passing" and time < event.time < time + 60.0:
+                a = event.drivers[0]
+                if a in order:
+                    i = order.index(a)
+                    if i > 0:
+                        order[i - 1], order[i] = order[i], order[i - 1]
+        time += float(rng.uniform(45.0, 70.0))
+        lap += int(rng.integers(1, 4))
+    for event in events:
+        if event.kind == "pit_stop":
+            out.append(
+                (
+                    Interval(event.time + 1.0, event.time + event.duration, "pit"),
+                    ["PIT", "STOP", event.drivers[0]],
+                )
+            )
+    out.append(
+        (
+            Interval(spec.duration - 15.0, spec.duration - 10.0, "final_lap"),
+            ["FINAL", "LAP"],
+        )
+    )
+    out.append(
+        (
+            Interval(spec.duration - 8.0, spec.duration - 3.0, "winner"),
+            ["WINNER", order[0]],
+        )
+    )
+    out.sort(key=lambda pair: pair[0].start)
+    return out
+
+
+def _schedule_cuts(
+    rng: np.random.Generator,
+    spec: RaceSpec,
+    events: list[RaceEvent],
+    replays: list[tuple[Interval, RaceEvent]],
+) -> list[float]:
+    """Hard-cut times, avoiding the replay DVE boundaries."""
+    forbidden = [
+        (interval.start - 1.5, interval.start + 1.5) for interval, _ in replays
+    ] + [(interval.end - 1.5, interval.end + 1.5) for interval, _ in replays]
+    out: list[float] = []
+    time = float(rng.uniform(4.0, spec.mean_shot_seconds))
+    while time < spec.duration - 3.0:
+        if not any(lo <= time <= hi for lo, hi in forbidden):
+            out.append(round(time, 1))
+        time += float(rng.uniform(0.5, 2.0) * spec.mean_shot_seconds)
+    return out
+
+
+def _schedule_keywords(
+    rng: np.random.Generator, events: list[RaceEvent]
+) -> list[tuple[float, str]]:
+    """Keywords the commentator utters near events."""
+    table = {
+        "start": ["start"],
+        "passing": ["overtake", "passing", "incredible"],
+        "fly_out": ["crash", "gravel", "offtrack", "unbelievable"],
+        "pit_stop": ["pitstop"],
+    }
+    out: list[tuple[float, str]] = []
+    for event in events:
+        if not event.announced and event.kind != "pit_stop":
+            continue
+        options = table[event.kind]
+        word = options[int(rng.integers(len(options)))]
+        out.append((event.time + float(rng.uniform(0.5, 2.0)), word))
+        if event.drivers and rng.random() < 0.7:
+            driver = event.drivers[0].lower()
+            out.append((event.time + float(rng.uniform(2.0, 4.0)), driver))
+    out.sort()
+    return out

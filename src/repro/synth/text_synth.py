@@ -1,0 +1,53 @@
+"""Overlay (chyron) rendering into synthetic frames.
+
+Draws what §5.4 describes from the producer's side: "the superimposed text
+is placed in the bottom of the picture, while the background is shaded in
+order to make characters clearer ... The characters are usually drawn with
+high contrast to the dark background".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SynthesisError
+from repro.text.patterns import render_text
+
+__all__ = ["draw_overlay", "OVERLAY_SHADE", "OVERLAY_INK"]
+
+#: Shade luminance behind the text and the character brightness.
+OVERLAY_SHADE = 28
+OVERLAY_INK = 232
+
+
+def draw_overlay(
+    frame: np.ndarray,
+    words: list[str],
+    bottom_fraction: float = 0.2,
+    left_margin: int = 6,
+) -> np.ndarray:
+    """Draw a shaded strip plus one line of text into the frame (in place).
+
+    Args:
+        frame: (H, W, 3) uint8 frame, modified and returned.
+        words: words to render, joined by single spaces.
+        bottom_fraction: height of the shaded strip.
+        left_margin: columns before the first character.
+    """
+    if not words:
+        raise SynthesisError("overlay needs at least one word")
+    height, width = frame.shape[:2]
+    strip_top = int(height * (1 - bottom_fraction))
+    frame[strip_top:, :, :] = OVERLAY_SHADE
+
+    text = " ".join(words).upper()
+    bitmap = render_text(text, scale=1, spacing=1)
+    rows, cols = bitmap.shape
+    if cols + left_margin > width:
+        raise SynthesisError(
+            f"overlay text {text!r} is {cols} px wide, frame only {width}"
+        )
+    top = strip_top + (height - strip_top - rows) // 2
+    window = frame[top : top + rows, left_margin : left_margin + cols]
+    window[bitmap.astype(bool)] = OVERLAY_INK
+    return frame

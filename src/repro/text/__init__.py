@@ -1,0 +1,44 @@
+"""Superimposed-text substrate: detection of shaded overlay regions,
+min-intensity refinement + 4x interpolation, projection-based character and
+word segmentation, length-categorized pattern-matching recognition, and
+semantic overlay parsing."""
+
+from repro.text.detection import (
+    TextDetector,
+    TextDetectorConfig,
+    TextSegment,
+    shaded_region,
+)
+from repro.text.overlay import OverlayEvent, parse_overlay
+from repro.text.patterns import GLYPH_HEIGHT, GLYPH_WIDTH, GLYPHS, glyph, render_text
+from repro.text.recognition import (
+    DEFAULT_LEXICON,
+    DRIVER_NAMES,
+    INFORMATIVE_WORDS,
+    WordMatch,
+    match_word,
+    recognize_region,
+    recognize_words,
+)
+from repro.text.refinement import (
+    MAGNIFICATION,
+    binarize,
+    magnify,
+    min_intensity_filter,
+)
+from repro.text.segmentation import (
+    CharacterBox,
+    WordRegion,
+    group_words,
+    segment_characters,
+)
+
+__all__ = [
+    "TextDetector", "TextDetectorConfig", "TextSegment", "shaded_region",
+    "OverlayEvent", "parse_overlay",
+    "GLYPH_HEIGHT", "GLYPH_WIDTH", "GLYPHS", "glyph", "render_text",
+    "DEFAULT_LEXICON", "DRIVER_NAMES", "INFORMATIVE_WORDS", "WordMatch",
+    "match_word", "recognize_region", "recognize_words",
+    "MAGNIFICATION", "binarize", "magnify", "min_intensity_filter",
+    "CharacterBox", "WordRegion", "group_words", "segment_characters",
+]

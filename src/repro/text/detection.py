@@ -1,0 +1,125 @@
+"""Superimposed-text detection (§5.4, steps 1 of 3).
+
+"We used the property of our domain that the superimposed text is placed in
+the bottom of the picture, while the background is shaded ... Our text
+detection algorithm consists of two steps. In the first step we analyze if
+the shaded region is present in the bottom part on each image ... By
+computing the number of these shaded regions in consecutive frames, we skip
+all the short segments that do not satisfy the duration criteria. In the
+second pass we calculate the duration, number, and variance of bright
+pixels present in these shaded regions."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SignalError
+
+__all__ = ["TextDetectorConfig", "TextSegment", "shaded_region", "TextDetector"]
+
+
+@dataclass(frozen=True)
+class TextDetectorConfig:
+    """Tunables of the two-pass text detector."""
+
+    #: Fraction of frame height treated as "the bottom part of the picture".
+    bottom_fraction: float = 0.2
+    #: Maximum mean luminance of the shade behind the text.
+    shade_luminance: float = 80.0
+    #: Luminance above which a pixel counts as a (bright) character pixel.
+    bright_threshold: float = 170.0
+    #: Minimum run length (frames) satisfying "the duration criteria".
+    min_duration_frames: int = 5
+    #: Bright-pixel fraction bounds for a plausible text overlay.
+    min_bright_fraction: float = 0.005
+    max_bright_fraction: float = 0.5
+    #: Minimum variance of bright-pixel columns (text is structured, a
+    #: uniformly bright strip is not text).
+    min_bright_variance: float = 1.0
+
+
+@dataclass(frozen=True)
+class TextSegment:
+    """A frame interval containing a stable superimposed overlay."""
+
+    start_frame: int
+    end_frame: int
+
+    @property
+    def n_frames(self) -> int:
+        return self.end_frame - self.start_frame
+
+
+def shaded_region(frame: np.ndarray, bottom_fraction: float = 0.2) -> np.ndarray:
+    """Crop the bottom band where graphic text lives."""
+    if not 0 < bottom_fraction <= 1:
+        raise SignalError(f"bad bottom_fraction {bottom_fraction}")
+    height = frame.shape[0]
+    top = int(height * (1 - bottom_fraction))
+    return frame[top:, :, :]
+
+
+def _luminance(region: np.ndarray) -> np.ndarray:
+    return region.astype(np.float64) @ np.array([0.299, 0.587, 0.114])
+
+
+class TextDetector:
+    """Two-pass detection of overlay segments across a frame sequence."""
+
+    def __init__(self, config: TextDetectorConfig | None = None):
+        self.config = config or TextDetectorConfig()
+
+    def frame_has_shade(self, frame: np.ndarray) -> bool:
+        """First pass test: is the shaded backing strip present?"""
+        config = self.config
+        region = _luminance(shaded_region(frame, config.bottom_fraction))
+        bright = region >= config.bright_threshold
+        dark_mean = region[~bright].mean() if (~bright).any() else 255.0
+        return bool(dark_mean <= config.shade_luminance)
+
+    def bright_statistics(self, frame: np.ndarray) -> tuple[float, float]:
+        """Second pass: (bright fraction, column variance) in the strip."""
+        config = self.config
+        region = _luminance(shaded_region(frame, config.bottom_fraction))
+        bright = region >= config.bright_threshold
+        fraction = float(bright.mean())
+        per_column = bright.sum(axis=0).astype(np.float64)
+        return fraction, float(per_column.var())
+
+    def segments(self, frames) -> list[TextSegment]:
+        """Detect overlay segments in an iterable of frames."""
+        config = self.config
+        flags: list[bool] = []
+        stats: list[tuple[float, float]] = []
+        for frame in frames:
+            has_shade = self.frame_has_shade(frame)
+            flags.append(has_shade)
+            stats.append(self.bright_statistics(frame) if has_shade else (0.0, 0.0))
+
+        out: list[TextSegment] = []
+        i = 0
+        n = len(flags)
+        while i < n:
+            if not flags[i]:
+                i += 1
+                continue
+            j = i
+            while j + 1 < n and flags[j + 1]:
+                j += 1
+            run = TextSegment(i, j + 1)
+            # duration criteria
+            if run.n_frames >= config.min_duration_frames:
+                fractions = [stats[k][0] for k in range(i, j + 1)]
+                variances = [stats[k][1] for k in range(i, j + 1)]
+                mean_fraction = float(np.mean(fractions))
+                mean_variance = float(np.mean(variances))
+                if (
+                    config.min_bright_fraction <= mean_fraction <= config.max_bright_fraction
+                    and mean_variance >= config.min_bright_variance
+                ):
+                    out.append(run)
+            i = j + 1
+        return out

@@ -1,0 +1,86 @@
+"""Semantic parsing of recognized overlay text (§5.5).
+
+"We decide to extract the names of Formula 1 drivers, and the semantic
+content of superimposed text (for example if it is a pit stop, or driver's
+classification is shown, etc.)." The parsed events become Cobra metadata
+that the retrieval layer joins with the DBN results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.text.recognition import DRIVER_NAMES
+
+__all__ = ["OverlayEvent", "parse_overlay"]
+
+
+@dataclass
+class OverlayEvent:
+    """Structured content of one recognized overlay.
+
+    Attributes:
+        kind: one of "pit_stop", "classification", "winner", "final_lap",
+            "lap", "driver_info", "unknown".
+        drivers: driver names mentioned, in display order.
+        positions: {driver: position} when a classification is shown.
+        lap: lap number when present.
+        words: the raw recognized words.
+    """
+
+    kind: str
+    drivers: list[str] = field(default_factory=list)
+    positions: dict[str, int] = field(default_factory=dict)
+    lap: int | None = None
+    words: list[str] = field(default_factory=list)
+
+
+def parse_overlay(words: list[str]) -> OverlayEvent:
+    """Interpret a recognized word sequence.
+
+    Handles the layouts the TV chyron uses: ``PIT STOP <driver>``,
+    ``<pos> <driver> [<pos> <driver> ...]`` classifications, ``WINNER
+    <driver>``, ``FINAL LAP``, ``LAP <n>``, and bare driver mentions.
+    """
+    tokens = [w.upper() for w in words]
+    drivers = [t for t in tokens if t in DRIVER_NAMES]
+    numbers = [int(t) for t in tokens if t.isdigit()]
+
+    if "PIT" in tokens and "STOP" in tokens:
+        return OverlayEvent("pit_stop", drivers=drivers, words=tokens)
+    if "WINNER" in tokens:
+        return OverlayEvent("winner", drivers=drivers, words=tokens)
+    if "FINAL" in tokens and "LAP" in tokens:
+        return OverlayEvent("final_lap", drivers=drivers, words=tokens)
+    if "LAP" in tokens and numbers and not drivers:
+        return OverlayEvent("lap", lap=numbers[0], words=tokens)
+
+    # Classification: alternating position/driver pairs.
+    positions: dict[str, int] = {}
+    pending: int | None = None
+    for token in tokens:
+        if token.isdigit():
+            pending = int(token)
+        elif token in DRIVER_NAMES and pending is not None:
+            positions[token] = pending
+            pending = None
+    if positions:
+        ordered = sorted(positions, key=positions.get)
+        lap = None
+        if "LAP" in tokens:
+            trailing = [
+                int(t)
+                for i, t in enumerate(tokens)
+                if t.isdigit() and i > 0 and tokens[i - 1] == "LAP"
+            ]
+            lap = trailing[0] if trailing else None
+        return OverlayEvent(
+            "classification",
+            drivers=ordered,
+            positions=positions,
+            lap=lap,
+            words=tokens,
+        )
+    if drivers:
+        return OverlayEvent("driver_info", drivers=drivers, words=tokens)
+    return OverlayEvent("unknown", words=tokens)

@@ -1,0 +1,111 @@
+"""Reference character patterns (5x7 bitmap font).
+
+"The algorithm for text recognition is based on pattern matching
+techniques, mainly because of the uniform structure of a small number of
+different words superimposed on the screen" (§5.4). The TV chyron of the
+synthetic races and the recognizer's reference patterns both come from this
+font — matching the paper's setting where the superimposed text is
+mechanically rendered and therefore uniform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SignalError
+
+__all__ = ["GLYPHS", "glyph", "render_text", "GLYPH_HEIGHT", "GLYPH_WIDTH"]
+
+GLYPH_HEIGHT = 7
+GLYPH_WIDTH = 5
+
+# fmt: off
+_RAW = {
+    "A": ".###.#...##...#######...##...##...#",
+    "B": "####.#...#####.#...##...##...#####.",
+    "C": ".#####....#....#....#....#.....####",
+    "D": "####.#...##...##...##...##...#####.",
+    "E": "######....#....####.#....#....#####",
+    "F": "######....#....####.#....#....#....",
+    "G": ".#####....#....#..###...##...#.###.",
+    "H": "#...##...##...#######...##...##...#",
+    "I": ".###...#....#....#....#....#...###.",
+    "J": "..###...#....#....#.#..#.#..#..##..",
+    "K": "#...##..#.#.#..##...#.#..#..#.#...#",
+    "L": "#....#....#....#....#....#....#####",
+    "M": "#...###.#######.#.##...##...##...#.",
+    "N": "#...###..##.#.##.#.##..###...##...#",
+    "O": ".###.#...##...##...##...##...#.###.",
+    "P": "####.#...##...#####.#....#....#....",
+    "Q": ".###.#...##...##...##.#.##..#..##.#",
+    "R": "####.#...##...#####.#.#..#..#.#...#",
+    "S": ".#####....#.....###......#....####.",
+    "T": "#####..#....#....#....#....#....#..",
+    "U": "#...##...##...##...##...##...#.###.",
+    "V": "#...##...##...##...#.#.#..#.#...#..",
+    "W": "#...##...##...##.#.##.#.######.#.#.",
+    "X": "#...##...#.#.#...#...#.#.#...##...#",
+    "Y": "#...##...#.#.#...#....#....#....#..",
+    "Z": "#####....#...#...#...#...#....#####",
+    "0": ".###.#...##..###.#.###..##...#.###.",
+    "1": "..#..###....#....#....#....#..#####",
+    "2": ".###.#...#....#...#...#...#...#####",
+    "3": ".###.#...#....#..##.....##...#.###.",
+    "4": "...#...##..#.#.#..######...#....#..",
+    "5": "######....####.....#....##...#.###.",
+    "6": ".#####....#....####.#...##...#.###.",
+    "7": "#####....#...#...#...#....#....#...",
+    "8": ".###.#...##...#.###.#...##...#.###.",
+    "9": ".###.#...##...#.####....#....#####.",
+    " ": "...................................",
+    ".": "........................." + ".##.." + ".##..",
+    "-": "...............#####...............",
+    ":": "....." + ".##.." + ".##.." + "....." + ".##.." + ".##.." + ".....",
+}
+# fmt: on
+
+
+def _decode(raw: str) -> np.ndarray:
+    if len(raw) != GLYPH_HEIGHT * GLYPH_WIDTH:
+        raise SignalError(f"glyph bitmap has wrong size {len(raw)}")
+    bits = np.array([1 if c == "#" else 0 for c in raw], dtype=np.uint8)
+    return bits.reshape(GLYPH_HEIGHT, GLYPH_WIDTH)
+
+
+#: Character -> (7, 5) binary glyph array.
+GLYPHS: dict[str, np.ndarray] = {char: _decode(raw) for char, raw in _RAW.items()}
+
+
+def glyph(char: str) -> np.ndarray:
+    """The binary bitmap of one character (uppercased)."""
+    key = char.upper()
+    if key not in GLYPHS:
+        raise SignalError(f"no glyph for character {char!r}")
+    return GLYPHS[key]
+
+
+def render_text(text: str, scale: int = 1, spacing: int = 1) -> np.ndarray:
+    """Render text into a binary array.
+
+    Args:
+        text: characters from the glyph set (case-insensitive).
+        scale: integer magnification of each glyph pixel.
+        spacing: blank columns between characters (at scale 1).
+
+    Returns:
+        uint8 array of shape (7 * scale, width * scale) with 1 = character
+        pixel.
+    """
+    if not text:
+        raise SignalError("cannot render empty text")
+    if scale < 1 or spacing < 0:
+        raise SignalError("scale must be >= 1 and spacing >= 0")
+    columns: list[np.ndarray] = []
+    for i, char in enumerate(text):
+        if i > 0 and spacing:
+            columns.append(np.zeros((GLYPH_HEIGHT, spacing), dtype=np.uint8))
+        columns.append(glyph(char))
+    bitmap = np.hstack(columns)
+    if scale > 1:
+        bitmap = np.kron(bitmap, np.ones((scale, scale), dtype=np.uint8))
+    return bitmap

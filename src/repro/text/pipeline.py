@@ -1,0 +1,130 @@
+"""Full text-recognition pipeline over a frame stream.
+
+Detection (two-pass shaded-region analysis) -> refinement (min-intensity
+filter + 4x interpolation) -> recognition (projection segmentation +
+pattern matching) -> semantic parsing, producing timed overlay events the
+Cobra metadata store ingests.
+
+The pass is streaming: only the bottom strips of shaded frames are kept in
+memory ("processing each frame for text recognition is not computationally
+feasible" — §5.4 — and neither is buffering a race).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.text.detection import TextDetector, TextDetectorConfig, shaded_region
+from repro.text.overlay import OverlayEvent, parse_overlay
+from repro.text.recognition import recognize_region
+from repro.video.frames import FrameStream
+
+__all__ = ["RecognizedOverlay", "extract_overlays"]
+
+
+@dataclass
+class RecognizedOverlay:
+    """One recognized overlay occurrence."""
+
+    start_time: float
+    end_time: float
+    words: list[str]
+    event: OverlayEvent
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+
+def extract_overlays(
+    stream: FrameStream,
+    config: TextDetectorConfig | None = None,
+    frames_per_segment: int = 5,
+) -> list[RecognizedOverlay]:
+    """Detect, refine, recognize and parse every overlay in a stream.
+
+    Args:
+        stream: frame stream (iterated exactly once).
+        config: text-detector tunables.
+        frames_per_segment: how many frames of each detected segment feed
+            the min-intensity refinement.
+    """
+    config = config or TextDetectorConfig()
+    detector = TextDetector(config)
+
+    flags: list[bool] = []
+    stats: list[tuple[float, float]] = []
+    strips: dict[int, np.ndarray] = {}
+    for index, frame in enumerate(stream):
+        has_shade = detector.frame_has_shade(frame)
+        flags.append(has_shade)
+        if has_shade:
+            stats.append(detector.bright_statistics(frame))
+            strips[index] = shaded_region(frame, config.bottom_fraction).copy()
+        else:
+            stats.append((0.0, 0.0))
+
+    segments = _runs_to_segments(detector, flags, stats)
+
+    out: list[RecognizedOverlay] = []
+    for start_frame, end_frame in segments:
+        step = max((end_frame - start_frame) // frames_per_segment, 1)
+        picks = list(range(start_frame, end_frame, step))[:frames_per_segment]
+        regions = [strips[i] for i in picks if i in strips]
+        if not regions:
+            continue
+        matches = recognize_region(regions)
+        words = [m.word for m in matches]
+        if not words:
+            continue
+        out.append(
+            RecognizedOverlay(
+                start_time=start_frame / stream.fps,
+                end_time=end_frame / stream.fps,
+                words=words,
+                event=parse_overlay(words),
+            )
+        )
+    return out
+
+
+def _runs_to_segments(
+    detector: TextDetector,
+    flags: list[bool],
+    stats: list[tuple[float, float]],
+) -> list[tuple[int, int]]:
+    """Apply the duration + bright-pixel criteria to shaded runs.
+
+    A naturally dark scene also reads as "shaded", so a shaded run can be
+    much longer than the overlay inside it; within each run we therefore
+    keep only the sub-runs whose frames actually contain bright (character)
+    pixels before applying the duration and variance criteria.
+    """
+    config = detector.config
+    bright = [
+        flag and stats[k][0] >= config.min_bright_fraction
+        for k, flag in enumerate(flags)
+    ]
+    out: list[tuple[int, int]] = []
+    i = 0
+    n = len(bright)
+    while i < n:
+        if not bright[i]:
+            i += 1
+            continue
+        j = i
+        while j + 1 < n and bright[j + 1]:
+            j += 1
+        length = j + 1 - i
+        if length >= config.min_duration_frames:
+            fractions = [stats[k][0] for k in range(i, j + 1)]
+            variances = [stats[k][1] for k in range(i, j + 1)]
+            if (
+                float(np.mean(fractions)) <= config.max_bright_fraction
+                and float(np.mean(variances)) >= config.min_bright_variance
+            ):
+                out.append((i, j + 1))
+        i = j + 1
+    return out

@@ -1,0 +1,185 @@
+"""Pattern-matching word recognition (§5.4, step 3 of 3).
+
+"To speed up the matching algorithm, we separate words into several
+categories based on their length, and perform the matching procedure only
+for reference patterns with a similar length. A simple metric of pixel
+difference is used for pattern matching. By specifying an appropriate
+threshold, we were able to recognize the superimposed words. Thus, a
+reference pattern with the largest metric above this threshold is selected
+as a matched word."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SignalError
+from repro.text.patterns import GLYPH_HEIGHT, GLYPH_WIDTH, render_text
+from repro.text.refinement import MAGNIFICATION, binarize, magnify, min_intensity_filter
+from repro.text.segmentation import WordRegion, group_words, segment_characters
+
+__all__ = [
+    "DEFAULT_LEXICON",
+    "DRIVER_NAMES",
+    "INFORMATIVE_WORDS",
+    "WordMatch",
+    "match_word",
+    "recognize_words",
+    "recognize_region",
+]
+
+#: Formula 1 drivers of the 2001 season used by the case study.
+DRIVER_NAMES = (
+    "SCHUMACHER",
+    "BARRICHELLO",
+    "HAKKINEN",
+    "COULTHARD",
+    "MONTOYA",
+    "RALF",
+    "VILLENEUVE",
+    "FRENTZEN",
+    "TRULLI",
+    "HEIDFELD",
+)
+
+#: "some informative words, such as pit stop, final lap, classification,
+#: winner, etc."
+INFORMATIVE_WORDS = (
+    "PIT",
+    "STOP",
+    "FINAL",
+    "LAP",
+    "CLASSIFICATION",
+    "WINNER",
+    "FASTEST",
+    "SPEED",
+)
+
+DEFAULT_LEXICON = DRIVER_NAMES + INFORMATIVE_WORDS + tuple("0123456789")
+
+
+@dataclass(frozen=True)
+class WordMatch:
+    """One recognized word with its matching score."""
+
+    word: str
+    score: float
+    left: int
+    right: int
+
+
+def _resample(binary: np.ndarray, shape: tuple[int, int]) -> np.ndarray:
+    """Nearest-neighbour resample of a binary image to a target shape."""
+    rows = (np.arange(shape[0]) * binary.shape[0] / shape[0]).astype(int)
+    cols = (np.arange(shape[1]) * binary.shape[1] / shape[1]).astype(int)
+    return binary[np.ix_(rows, cols)]
+
+
+def _reference(word: str) -> np.ndarray:
+    return render_text(word, scale=MAGNIFICATION)
+
+
+def match_word(
+    word_bitmap: np.ndarray,
+    lexicon: tuple[str, ...] = DEFAULT_LEXICON,
+    n_characters: int | None = None,
+    threshold: float = 0.8,
+    length_slack: int = 1,
+) -> WordMatch | None:
+    """Match one cropped word bitmap against the lexicon.
+
+    Args:
+        word_bitmap: 2-D binary crop of the word.
+        lexicon: candidate words.
+        n_characters: segmented character count; candidates are restricted
+            to similar lengths (the paper's length categories).
+        threshold: minimum pixel-agreement score for a match.
+        length_slack: admissible character-count difference.
+
+    Returns:
+        The best :class:`WordMatch` above threshold, or None.
+    """
+    if word_bitmap.ndim != 2 or word_bitmap.size == 0:
+        raise SignalError("match_word needs a non-empty 2-D bitmap")
+    best: tuple[float, str] | None = None
+    for candidate in lexicon:
+        if n_characters is not None and abs(len(candidate) - n_characters) > length_slack:
+            continue
+        reference = _reference(candidate)
+        resampled = _resample(word_bitmap, reference.shape)
+        agreement = float((resampled == reference).mean())
+        if best is None or agreement > best[0]:
+            best = (agreement, candidate)
+    if best is None or best[0] < threshold:
+        return None
+    return WordMatch(best[1], best[0], 0, word_bitmap.shape[1])
+
+
+def recognize_words(
+    binary: np.ndarray,
+    lexicon: tuple[str, ...] = DEFAULT_LEXICON,
+    threshold: float = 0.8,
+) -> list[WordMatch]:
+    """Segment a binarized (already magnified) text line and match words."""
+    characters = segment_characters(binary)
+    words: list[WordRegion] = group_words(characters)
+    out: list[WordMatch] = []
+    digits = tuple("0123456789")
+    for region in words:
+        crop = binary[region.top : region.bottom, region.left : region.right]
+        if crop.size == 0:
+            continue
+        match = match_word(
+            crop, lexicon, n_characters=len(region), threshold=threshold
+        )
+        if match is not None:
+            out.append(
+                WordMatch(match.word, match.score, region.left, region.right)
+            )
+            continue
+        # Multi-digit numbers (lap counters, speeds) are matched per
+        # character — the lexicon only carries single-digit references.
+        characters: list[str] = []
+        scores: list[float] = []
+        for box in region.characters:
+            char_crop = binary[box.top : box.bottom, box.left : box.right]
+            digit = match_word(char_crop, digits, n_characters=1, threshold=threshold)
+            if digit is None:
+                characters = []
+                break
+            characters.append(digit.word)
+            scores.append(digit.score)
+        if characters:
+            out.append(
+                WordMatch(
+                    "".join(characters),
+                    float(np.mean(scores)),
+                    region.left,
+                    region.right,
+                )
+            )
+    out.sort(key=lambda m: m.left)
+    return out
+
+
+def recognize_region(
+    color_regions: list[np.ndarray],
+    lexicon: tuple[str, ...] = DEFAULT_LEXICON,
+    threshold: float = 0.8,
+    binarize_threshold: float = 170.0,
+) -> list[WordMatch]:
+    """Full §5.4 refinement + recognition on consecutive region crops.
+
+    Args:
+        color_regions: the same overlay region cropped from several
+            consecutive frames (RGB or grayscale).
+
+    Pipeline: min-intensity filtering -> magnification x4 -> binarization
+    -> projection segmentation -> length-categorized pattern matching.
+    """
+    filtered = min_intensity_filter(color_regions)
+    magnified = magnify(filtered)
+    binary = binarize(magnified, threshold=binarize_threshold)
+    return recognize_words(binary, lexicon, threshold)

@@ -1,0 +1,116 @@
+"""Visual feature extraction: the f11..f17 evidence streams (§5.5).
+
+One pass over a frame stream produces:
+
+==== ==========================================================
+f11  part of the race (normalized race position)
+f12  replay indicator (DVE-bracketed segments)
+f13  color difference between consecutive frames
+f14  semaphore (start lights) score
+f15  dust fraction
+f16  sand fraction
+f17  amount of motion (smoothed color difference)
+==== ==========================================================
+
+The synthetic races render at 10 fps, so one frame maps onto one 0.1 s
+evidence step; for other rates the caller resamples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.video.flyout import dust_fraction, sand_fraction
+from repro.video.frames import FrameStream
+from repro.video.motion import frame_difference, motion_histogram, passing_score
+from repro.video.replay import DveDetector, ReplaySegmenter
+from repro.video.semaphore import SemaphoreTracker
+
+__all__ = ["VisualFeatures", "extract_visual_features", "VISUAL_FEATURE_NAMES"]
+
+VISUAL_FEATURE_NAMES = ("f11", "f12", "f13", "f14", "f15", "f16", "f17")
+
+
+@dataclass
+class VisualFeatures:
+    """Per-frame visual evidence streams.
+
+    Attributes:
+        streams: name ("f11".."f17" plus "passing") -> array (n_frames,).
+        fps: frame rate of the streams.
+    """
+
+    streams: dict[str, np.ndarray]
+    fps: float
+
+    @property
+    def n_frames(self) -> int:
+        return next(iter(self.streams.values())).shape[0]
+
+    def matrix(self) -> np.ndarray:
+        return np.stack(
+            [self.streams[name] for name in VISUAL_FEATURE_NAMES], axis=1
+        )
+
+
+def extract_visual_features(
+    stream: FrameStream,
+    passing_window: int = 20,
+    motion_smoothing: int = 5,
+) -> VisualFeatures:
+    """Extract f11..f17 (and the raw passing score) in one pass.
+
+    Args:
+        stream: the frame stream (replayable, but only iterated once here).
+        passing_window: consecutive motion histograms per passing score.
+        motion_smoothing: moving-average width for f17.
+    """
+    n = stream.n_frames
+    color_diff = np.zeros(n)
+    semaphore = np.zeros(n)
+    dust = np.zeros(n)
+    sand = np.zeros(n)
+    dve_scores = np.zeros(n)
+    passing = np.zeros(n)
+
+    tracker = SemaphoreTracker()
+    dve = DveDetector()
+    histogram_buffer: list[np.ndarray] = []
+    previous: np.ndarray | None = None
+
+    for i, frame in enumerate(stream):
+        semaphore[i] = tracker.update(frame)
+        dve_scores[i] = dve.update(frame)
+        dust[i] = dust_fraction(frame)
+        sand[i] = sand_fraction(frame)
+        if previous is not None:
+            color_diff[i] = frame_difference(previous, frame)
+            histogram_buffer.append(motion_histogram(previous, frame))
+            if len(histogram_buffer) > passing_window:
+                histogram_buffer.pop(0)
+            if len(histogram_buffer) >= 3:
+                passing[i] = passing_score(np.stack(histogram_buffer))
+        previous = frame
+
+    segmenter = ReplaySegmenter(stream.fps)
+    replay = segmenter.indicator(dve_scores)
+
+    kernel = np.ones(motion_smoothing) / motion_smoothing
+    motion = np.convolve(color_diff, kernel, mode="same")
+
+    part_of_race = np.linspace(0.0, 1.0, n)
+
+    streams = {
+        "f11": part_of_race,
+        "f12": replay,
+        "f13": np.clip(color_diff / 0.25, 0.0, 1.0),
+        "f14": semaphore,
+        "f15": np.clip(dust / 0.25, 0.0, 1.0),
+        "f16": np.clip(sand / 0.25, 0.0, 1.0),
+        "f17": np.clip(motion / 0.25, 0.0, 1.0),
+        "passing": passing,
+        "dve": dve_scores,
+    }
+    return VisualFeatures(streams, stream.fps)

@@ -1,0 +1,47 @@
+"""Fly-out detection by dust and sand color filtering (§5.3).
+
+"Fly outs usually come with a lot of sand and dust. Therefore, we recognize
+presence of these two characteristics in the picture. We filter the RGB
+image for these colors and compute the probability, which will be used by a
+probabilistic network."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sand_fraction", "dust_fraction", "SAND_RGB", "DUST_RGB"]
+
+#: Reference gravel-trap sand color.
+SAND_RGB = (194, 178, 128)
+#: Reference dust-cloud color (desaturated warm grey).
+DUST_RGB = (170, 160, 140)
+
+
+def _color_fraction(
+    frame: np.ndarray, reference: tuple[int, int, int], tolerance: int
+) -> float:
+    pixels = frame.astype(np.int16)
+    mask = np.ones(frame.shape[:2], dtype=bool)
+    for channel, value in enumerate(reference):
+        mask &= np.abs(pixels[:, :, channel] - value) <= tolerance
+    return float(mask.mean())
+
+
+def sand_fraction(frame: np.ndarray, tolerance: int = 35) -> float:
+    """Fraction of pixels matching the sand color, in [0, 1]."""
+    return _color_fraction(frame, SAND_RGB, tolerance)
+
+
+def dust_fraction(frame: np.ndarray, tolerance: int = 30) -> float:
+    """Fraction of pixels matching the dust color, in [0, 1].
+
+    Dust additionally requires low saturation (a haze, not a painted
+    object): the channel spread must be small.
+    """
+    pixels = frame.astype(np.int16)
+    base = np.ones(frame.shape[:2], dtype=bool)
+    for channel, value in enumerate(DUST_RGB):
+        base &= np.abs(pixels[:, :, channel] - value) <= tolerance
+    spread = pixels.max(axis=2) - pixels.min(axis=2)
+    return float((base & (spread <= 40)).mean())

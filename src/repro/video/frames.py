@@ -1,0 +1,88 @@
+"""Video frame containers.
+
+Frames are ``(height, width, 3)`` uint8 RGB numpy arrays. The paper digitized
+PAL video at quarter resolution (384x288); the synthetic races render at a
+configurable size (default 192x144 at 10 fps) and every detector is
+resolution-independent. :class:`FrameStream` wraps a frame iterator so long
+races never need to be materialized in memory.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import SignalError
+
+__all__ = ["FrameStream", "check_frame", "DEFAULT_FRAME_SIZE", "DEFAULT_FPS"]
+
+#: (height, width) of synthesized frames.
+DEFAULT_FRAME_SIZE = (144, 192)
+#: Synthetic frame rate; chosen to equal the 10 Hz evidence rate so one
+#: frame maps to one clip.
+DEFAULT_FPS = 10.0
+
+
+def check_frame(frame: np.ndarray) -> np.ndarray:
+    """Validate an RGB frame and return it as uint8."""
+    frame = np.asarray(frame)
+    if frame.ndim != 3 or frame.shape[2] != 3:
+        raise SignalError(f"frame must be (H, W, 3), got {frame.shape}")
+    if frame.dtype != np.uint8:
+        if frame.min() < 0 or frame.max() > 255:
+            raise SignalError("frame values outside [0, 255]")
+        frame = frame.astype(np.uint8)
+    return frame
+
+
+class FrameStream:
+    """A lazily evaluated frame sequence with known rate and length.
+
+    Args:
+        source: factory returning a fresh frame iterator — a factory rather
+            than an iterator so the stream is re-playable (several detectors
+            can each make a full pass).
+        fps: frames per second.
+        n_frames: total frame count.
+    """
+
+    def __init__(
+        self,
+        source: Callable[[], Iterable[np.ndarray]],
+        fps: float,
+        n_frames: int,
+    ):
+        if fps <= 0:
+            raise SignalError(f"fps must be positive, got {fps}")
+        if n_frames < 1:
+            raise SignalError("stream needs at least one frame")
+        self._source = source
+        self.fps = fps
+        self.n_frames = n_frames
+
+    @property
+    def duration(self) -> float:
+        return self.n_frames / self.fps
+
+    def __len__(self) -> int:
+        return self.n_frames
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        produced = 0
+        for frame in self._source():
+            yield check_frame(frame)
+            produced += 1
+        if produced != self.n_frames:
+            raise SignalError(
+                f"stream promised {self.n_frames} frames but produced {produced}"
+            )
+
+    def materialize(self) -> list[np.ndarray]:
+        """Collect all frames (tests and short clips only)."""
+        return list(self)
+
+    @staticmethod
+    def from_frames(frames: list[np.ndarray], fps: float) -> "FrameStream":
+        checked = [check_frame(f) for f in frames]
+        return FrameStream(lambda: iter(checked), fps, len(checked))

@@ -1,0 +1,36 @@
+"""Color histograms and histogram differences (shot-detection primitives)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SignalError
+
+__all__ = ["color_histogram", "histogram_difference"]
+
+
+def color_histogram(frame: np.ndarray, bins_per_channel: int = 8) -> np.ndarray:
+    """Normalized per-channel color histogram, shape (3, bins).
+
+    Concatenated per-channel histograms are a standard, cheap signature for
+    cut detection; normalization makes the difference metric resolution
+    independent.
+    """
+    if not 1 <= bins_per_channel <= 256:
+        raise SignalError(f"bins_per_channel out of range: {bins_per_channel}")
+    out = np.zeros((3, bins_per_channel))
+    scale = 256 // bins_per_channel
+    for channel in range(3):
+        values = frame[:, :, channel].reshape(-1) // scale
+        counts = np.bincount(
+            np.minimum(values, bins_per_channel - 1), minlength=bins_per_channel
+        )
+        out[channel] = counts / values.shape[0]
+    return out
+
+
+def histogram_difference(a: np.ndarray, b: np.ndarray) -> float:
+    """L1 distance between two histograms, in [0, 2] (0 = identical)."""
+    if a.shape != b.shape:
+        raise SignalError(f"histogram shapes differ: {a.shape} vs {b.shape}")
+    return float(np.abs(a - b).sum() / a.shape[0])

@@ -1,0 +1,110 @@
+"""Motion features (§5.3).
+
+Two motion measures feed the networks:
+
+* the **amount of motion** (paper feature f17, also half of the start
+  detector): mean absolute pixel color difference between consecutive
+  frames;
+* the **motion histogram** used for passing detection (f13 pipeline): the
+  spatial distribution of the inter-frame difference across column bands,
+  from which :func:`passing_score` computes "the probability that there is
+  a chance of one car passing another" by tracking a coherent motion
+  centroid sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SignalError
+
+__all__ = [
+    "frame_difference",
+    "motion_histogram",
+    "passing_score",
+]
+
+
+#: Per-pixel channel-sum difference below this is treated as sensor noise.
+NOISE_GATE = 45
+
+
+def _gated_difference(previous: np.ndarray, current: np.ndarray) -> np.ndarray:
+    """Channel-summed absolute difference with small (noise) values zeroed."""
+    if previous.shape != current.shape:
+        raise SignalError("frames differ in shape")
+    diff = np.abs(current.astype(np.int16) - previous.astype(np.int16)).sum(axis=2)
+    diff[diff < NOISE_GATE] = 0
+    return diff
+
+
+def frame_difference(previous: np.ndarray, current: np.ndarray) -> float:
+    """Mean absolute pixel color difference, noise-gated, in [0, 1]."""
+    diff = _gated_difference(previous, current)
+    return float(diff.mean() / (3 * 255.0))
+
+
+def motion_histogram(
+    previous: np.ndarray, current: np.ndarray, n_bands: int = 12
+) -> np.ndarray:
+    """Motion energy per vertical column band, normalized to sum 1.
+
+    Returns:
+        Array (n_bands,); uniform when the frame pair is static.
+    """
+    diff = _gated_difference(previous, current)
+    width = diff.shape[1]
+    edges = np.linspace(0, width, n_bands + 1).astype(int)
+    energy = np.array(
+        [diff[:, edges[i] : edges[i + 1]].sum() for i in range(n_bands)],
+        dtype=np.float64,
+    )
+    total = energy.sum()
+    if total <= 0:
+        return np.full(n_bands, 1.0 / n_bands)
+    return energy / total
+
+
+def passing_score(histograms: np.ndarray) -> float:
+    """Probability-like score that a passing manoeuvre is in progress.
+
+    Args:
+        histograms: motion histograms of several consecutive frame pairs,
+            shape (k, n_bands) — §5.3 computes "the movement properties of
+            several consecutive pictures, based on their motion histogram".
+
+    A passing shows as a *concentrated* motion blob whose centroid sweeps
+    monotonically across the frame. The score combines
+
+    * concentration: how far each histogram is from uniform,
+    * sweep: monotone centroid displacement across the window.
+    """
+    histograms = np.asarray(histograms, dtype=np.float64)
+    if histograms.ndim != 2 or histograms.shape[0] < 3:
+        raise SignalError("passing_score needs >= 3 consecutive histograms")
+    k, n_bands = histograms.shape
+    uniform = 1.0 / n_bands
+
+    # Background motion is spatially uniform; subtract the uniform floor so
+    # the centroid tracks only the concentrated (foreground) blob.
+    excess = np.clip(histograms - uniform, 0.0, None)
+    mass = excess.sum(axis=1)
+    concentration = mass / (1.0 - uniform)
+    valid = mass > 0.02
+    if valid.sum() < 3:
+        return 0.0
+    positions = np.arange(n_bands)
+    centroids = (excess[valid] @ positions) / (mass[valid] * (n_bands - 1))
+
+    steps = np.diff(centroids)
+    if np.all(steps == 0):
+        return 0.0
+    direction = np.sign(steps.sum())
+    if direction == 0:
+        return 0.0
+    monotone = float((np.sign(steps) == direction).mean())
+    displacement = float(abs(centroids[-1] - centroids[0]))
+    sweep = min(displacement / 0.25, 1.0) * monotone
+    mean_concentration = float(concentration[valid].mean())
+
+    return float(np.clip(mean_concentration * sweep, 0.0, 1.0))

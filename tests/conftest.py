@@ -1,0 +1,45 @@
+"""Shared fixtures.
+
+The expensive artifacts (a synthetic race with extracted features, a
+trained retrieval system) are session-scoped: every integration test
+shares one 180 s race.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fusion.pipeline import RaceData, prepare_race
+from repro.synth.race import RaceSpec
+
+
+MINI_SPEC = RaceSpec(
+    name="testrace",
+    duration=180.0,
+    n_passings=2,
+    n_fly_outs=1,
+    n_pit_stops=1,
+    passing_visibility=0.9,
+    excitement_reaction=0.8,
+    seed=77,
+)
+
+
+@pytest.fixture(scope="session")
+def mini_race() -> RaceData:
+    """One fully synthesized + feature-extracted race for the session."""
+    return prepare_race(MINI_SPEC)
+
+
+@pytest.fixture(scope="session")
+def f1_system(mini_race):
+    """A trained FormulaOneSystem over the mini race."""
+    from repro.retrieval.system import FormulaOneSystem
+
+    return FormulaOneSystem(mini_race, seed=3)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,51 @@
+"""The exception hierarchy: every subsystem error is a ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.MonetError,
+    errors.AtomTypeError,
+    errors.BatError,
+    errors.MilError,
+    errors.MilSyntaxError,
+    errors.MilNameError,
+    errors.MilTypeError,
+    errors.MoaError,
+    errors.MoaTypeError,
+    errors.CobraError,
+    errors.QuerySyntaxError,
+    errors.UnknownConceptError,
+    errors.ExtractionError,
+    errors.InferenceError,
+    errors.GraphStructureError,
+    errors.CpdError,
+    errors.LearningError,
+    errors.SignalError,
+    errors.SynthesisError,
+    errors.RuleError,
+]
+
+
+@pytest.mark.parametrize("error_type", ALL_ERRORS)
+def test_all_derive_from_repro_error(error_type):
+    assert issubclass(error_type, errors.ReproError)
+
+
+def test_mil_syntax_error_carries_line():
+    error = errors.MilSyntaxError("bad token", line=7)
+    assert error.line == 7
+    assert "line 7" in str(error)
+
+
+def test_kernel_errors_catchable_at_boundary():
+    from repro.monet.bat import BAT
+
+    try:
+        BAT("void", "int").insert("oops")
+    except errors.ReproError as caught:
+        assert isinstance(caught, errors.AtomTypeError)
+    else:  # pragma: no cover
+        raise AssertionError("expected a ReproError")

@@ -1,0 +1,108 @@
+"""Edge cases of the fusion pipeline and feature assembly."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalError
+from repro.fusion.discretize import DiscretizationConfig, hard_evidence, soft_evidence
+from repro.fusion.features import FeatureSet
+from repro.fusion.audio_networks import AUDIO_NODE_TO_FEATURE, audio_structure
+from repro.fusion.evaluate import extract_segments
+from repro.synth.annotations import Interval
+
+
+def synthetic_feature_set(n=200, seed=0) -> FeatureSet:
+    rng = np.random.default_rng(seed)
+    streams = {f"f{i}": rng.random(n) for i in range(1, 18)}
+    streams["passing"] = rng.random(n)
+    return FeatureSet("synthetic", streams)
+
+
+class TestFeatureSet:
+    def test_matrix_order(self):
+        features = synthetic_feature_set()
+        matrix = features.matrix(("f1", "f2"))
+        assert matrix.shape == (200, 2)
+        assert np.array_equal(matrix[:, 0], features.stream("f1"))
+
+    def test_unknown_stream(self):
+        with pytest.raises(SignalError):
+            synthetic_feature_set().stream("f99")
+
+
+class TestEvidenceBuilders:
+    def test_hard_evidence_all_observed_covered(self):
+        template = audio_structure("a")
+        features = synthetic_feature_set()
+        evidence = hard_evidence(template, features, AUDIO_NODE_TO_FEATURE)
+        for node in template.observed_nodes():
+            assert evidence.hard_values(node).shape == (200,)
+
+    def test_missing_mapping_rejected(self):
+        template = audio_structure("a")
+        features = synthetic_feature_set()
+        with pytest.raises(SignalError):
+            hard_evidence(template, features, {"f1": "f1"})  # f2.. unmapped
+
+    def test_extra_hard_truncates_to_shortest(self):
+        template = audio_structure("a", ea_observed=True)
+        features = synthetic_feature_set()
+        evidence = hard_evidence(
+            template,
+            features,
+            AUDIO_NODE_TO_FEATURE,
+            extra_hard={"EA": np.zeros(150, dtype=np.int64)},
+        )
+        assert len(evidence) == 150
+
+    def test_soft_evidence_likelihood_shape(self):
+        template = audio_structure("b")
+        features = synthetic_feature_set()
+        evidence = soft_evidence(template, features, AUDIO_NODE_TO_FEATURE)
+        lik = evidence.likelihoods("f1")
+        assert lik.shape == (200, 2)
+        assert np.allclose(lik.sum(axis=1), 1.0)
+
+    def test_soft_evidence_gamma_sharpens(self):
+        template = audio_structure("b")
+        features = synthetic_feature_set()
+        soft_linear = soft_evidence(
+            template, features, AUDIO_NODE_TO_FEATURE,
+            DiscretizationConfig(gamma=1.0),
+        )
+        soft_sharp = soft_evidence(
+            template, features, AUDIO_NODE_TO_FEATURE,
+            DiscretizationConfig(gamma=3.0),
+        )
+        linear = soft_linear.likelihoods("f3")
+        sharp = soft_sharp.likelihoods("f3")
+        # sharpening pushes likelihoods toward the extremes
+        assert np.abs(sharp - 0.5).mean() >= np.abs(linear - 0.5).mean()
+
+
+class TestSegmentExtraction:
+    def test_empty_posterior_gives_no_segments(self):
+        assert extract_segments(np.zeros(100)) == []
+
+    def test_everything_above_threshold_is_one_segment(self):
+        segments = extract_segments(np.ones(100), min_duration=1.0)
+        assert len(segments) == 1
+        assert segments[0].duration == pytest.approx(10.0)
+
+    def test_segment_at_sequence_end_closed(self):
+        posterior = np.zeros(100)
+        posterior[30:] = 0.9
+        segments = extract_segments(posterior, min_duration=1.0)
+        assert segments[-1].end == pytest.approx(10.0)
+
+    def test_label_propagates(self):
+        posterior = np.zeros(200)
+        posterior[0:80] = 1.0
+        (segment,) = extract_segments(posterior, label="highlight")
+        assert segment.label == "highlight"
+
+    def test_non_1d_rejected(self):
+        from repro.errors import InferenceError
+
+        with pytest.raises(InferenceError):
+            extract_segments(np.zeros((10, 2)))

@@ -1,0 +1,184 @@
+"""HMMs: model validation, forward/backward, Viterbi, Baum-Welch, and the
+parallel evaluation extension (Fig. 3/4)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InferenceError, LearningError
+from repro.hmm.algorithms import forward_backward, log_likelihood, sample, viterbi
+from repro.hmm.model import DiscreteHmm
+from repro.hmm.parallel import HmmExtension, HmmServer, build_parallel_eval_proc
+from repro.hmm.train import baum_welch
+from repro.monet.kernel import MonetKernel
+
+
+def simple() -> DiscreteHmm:
+    return DiscreteHmm(
+        [0.6, 0.4],
+        [[0.7, 0.3], [0.4, 0.6]],
+        [[0.9, 0.1], [0.2, 0.8]],
+        name="simple",
+    )
+
+
+class TestModel:
+    def test_row_normalization_checked(self):
+        with pytest.raises(InferenceError):
+            DiscreteHmm([0.5, 0.5], [[0.9, 0.2], [0.5, 0.5]], [[1, 0], [0, 1]])
+
+    def test_shapes_checked(self):
+        with pytest.raises(InferenceError):
+            DiscreteHmm([1.0], [[1.0]], [[0.5, 0.5], [0.5, 0.5]])
+
+    def test_observation_range_checked(self):
+        with pytest.raises(InferenceError):
+            simple().check_observations([0, 5])
+
+    def test_random_is_valid(self):
+        m = DiscreteHmm.random(3, 4, rng=np.random.default_rng(0))
+        assert m.n_states == 3 and m.n_symbols == 4
+
+
+class TestForwardBackward:
+    def test_likelihood_matches_brute_force(self):
+        model = simple()
+        obs = [0, 1, 0]
+        # brute force over all state paths
+        total = 0.0
+        for s0 in range(2):
+            for s1 in range(2):
+                for s2 in range(2):
+                    p = model.initial[s0] * model.emission[s0, obs[0]]
+                    p *= model.transition[s0, s1] * model.emission[s1, obs[1]]
+                    p *= model.transition[s1, s2] * model.emission[s2, obs[2]]
+                    total += p
+        assert log_likelihood(model, obs) == pytest.approx(np.log(total))
+
+    def test_forward_backward_gamma_normalized(self):
+        result = forward_backward(simple(), [0, 1, 1, 0, 0])
+        assert np.allclose(result.gamma.sum(axis=1), 1.0)
+
+    def test_forward_backward_ll_matches_filter(self):
+        obs = [0, 1, 1, 0]
+        assert forward_backward(simple(), obs).log_likelihood == pytest.approx(
+            log_likelihood(simple(), obs)
+        )
+
+    def test_xi_sum_total(self):
+        obs = [0, 1, 1, 0, 1]
+        result = forward_backward(simple(), obs)
+        # expected transitions total T-1
+        assert result.xi_sum.sum() == pytest.approx(len(obs) - 1)
+
+
+class TestViterbi:
+    def test_path_length_and_validity(self):
+        path, lp = viterbi(simple(), [0, 0, 1, 1])
+        assert len(path) == 4
+        assert all(s in (0, 1) for s in path)
+        assert lp < 0
+
+    def test_viterbi_finds_most_probable_path(self):
+        model = simple()
+        obs = [0, 1]
+        best_manual = max(
+            (
+                (
+                    np.log(model.initial[s0] * model.emission[s0, obs[0]])
+                    + np.log(model.transition[s0, s1] * model.emission[s1, obs[1]]),
+                    [s0, s1],
+                )
+                for s0 in range(2)
+                for s1 in range(2)
+            ),
+            key=lambda x: x[0],
+        )
+        path, lp = viterbi(model, obs)
+        assert path == best_manual[1]
+        assert lp == pytest.approx(best_manual[0])
+
+    def test_deterministic_emissions_recover_states(self):
+        model = DiscreteHmm(
+            [1.0, 0.0],
+            [[0.5, 0.5], [0.5, 0.5]],
+            [[1.0, 0.0], [0.0, 1.0]],
+        )
+        path, _ = viterbi(model, [0, 1, 1, 0])
+        assert path == [0, 1, 1, 0]
+
+
+class TestBaumWelch:
+    def test_monotone_loglik(self, rng):
+        true = simple()
+        seqs = [sample(true, 60, rng)[1] for _ in range(8)]
+        result = baum_welch(DiscreteHmm.random(2, 2, rng=rng), seqs, max_iterations=30)
+        assert np.all(np.diff(result.log_likelihoods) >= -1e-7)
+
+    def test_improves_fit(self, rng):
+        true = simple()
+        seqs = [sample(true, 80, rng)[1] for _ in range(6)]
+        result = baum_welch(DiscreteHmm.random(2, 2, rng=rng), seqs, max_iterations=40)
+        assert result.log_likelihoods[-1] > result.log_likelihoods[0] + 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(LearningError):
+            baum_welch(simple(), [])
+
+
+class TestParallelExtension:
+    def _deploy(self, ext):
+        models = {}
+        for i, name in enumerate(
+            ["Service", "Forehand", "Smash", "Backhand", "VolleyB", "VolleyF"]
+        ):
+            model = DiscreteHmm.random(3, 4, rng=np.random.default_rng(100 + i))
+            ext.deploy(name, model)
+            models[name] = model
+        return models
+
+    def test_classify_picks_best_model(self, rng):
+        kernel = MonetKernel()
+        ext = HmmExtension(kernel, n_servers=6)
+        models = self._deploy(ext)
+        obs = sample(models["Smash"], 80, rng)[1]
+        expected = max(models, key=lambda n: log_likelihood(models[n], obs))
+        assert ext.classify(obs) == expected
+
+    def test_all_servers_called(self, rng):
+        kernel = MonetKernel()
+        ext = HmmExtension(kernel, n_servers=6)
+        models = self._deploy(ext)
+        ext.classify(sample(models["Service"], 40, rng)[1])
+        assert sum(s.calls for s in ext.servers) == 6
+
+    def test_evaluate_single_model(self, rng):
+        kernel = MonetKernel()
+        ext = HmmExtension(kernel, n_servers=2)
+        models = self._deploy(ext)
+        obs = sample(models["Smash"], 30, rng)[1]
+        assert ext.evaluate("Smash", obs) == pytest.approx(
+            log_likelihood(models["Smash"], obs)
+        )
+
+    def test_classify_without_models(self):
+        ext = HmmExtension(MonetKernel(), n_servers=2)
+        with pytest.raises(InferenceError):
+            ext.classify([0, 1])
+
+    def test_train_deploys_model(self, rng):
+        kernel = MonetKernel()
+        ext = HmmExtension(kernel, n_servers=2)
+        seqs = [sample(simple(), 40, rng)[1] for _ in range(4)]
+        ext.train("learned", seqs, n_states=2, n_symbols=2, max_iterations=10)
+        assert "learned" in ext.servers[0].model_names()
+
+    def test_mil_proc_structure(self):
+        source = build_parallel_eval_proc("hmmP", ["A", "B", "C"], 3)
+        assert "threadcnt(4)" in source
+        assert source.count("hmmOneCall") == 3
+        assert "PARALLEL" in source
+
+    def test_server_unknown_model(self):
+        server = HmmServer(0)
+        with pytest.raises(InferenceError):
+            server.evaluate("ghost", [0, 1])

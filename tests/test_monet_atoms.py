@@ -1,0 +1,66 @@
+"""Atom types and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AtomTypeError
+from repro.monet.atoms import ATOMS, Atom, atom
+
+
+class TestBuiltins:
+    def test_all_builtin_names(self):
+        for name in ("oid", "void", "int", "flt", "dbl", "str", "bit", "chr", "any"):
+            assert name in ATOMS
+
+    def test_lookup_unknown(self):
+        with pytest.raises(AtomTypeError):
+            atom("decimal")
+
+    def test_oid_non_negative(self):
+        with pytest.raises(AtomTypeError):
+            atom("oid").coerce(-1)
+        assert atom("oid").coerce(5) == 5
+
+    def test_int_coercion(self):
+        assert atom("int").coerce("12") == 12
+        assert atom("int").coerce(3.0) == 3
+        with pytest.raises(AtomTypeError):
+            atom("int").coerce("abc")
+
+    def test_bool_not_an_int(self):
+        with pytest.raises(AtomTypeError):
+            atom("int").coerce(True)
+
+    def test_bit(self):
+        assert atom("bit").coerce(True) is True
+        assert atom("bit").coerce(0) is False
+        with pytest.raises(AtomTypeError):
+            atom("bit").coerce(2)
+
+    def test_chr_single_character(self):
+        assert atom("chr").coerce("x") == "x"
+        with pytest.raises(AtomTypeError):
+            atom("chr").coerce("xy")
+
+    def test_str_accepts_bytes(self):
+        assert atom("str").coerce(b"abc") == "abc"
+        with pytest.raises(AtomTypeError):
+            atom("str").coerce(42)
+
+    def test_dbl_coercion(self):
+        assert atom("dbl").coerce("2.5") == 2.5
+        assert np.isnan(atom("dbl").null)
+
+    def test_any_passthrough(self):
+        marker = object()
+        assert atom("any").coerce(marker) is marker
+
+
+class TestRegistry:
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(AtomTypeError):
+            ATOMS.register(Atom("int", np.dtype(np.int64), int, 0))
+
+    def test_names_sorted(self):
+        names = ATOMS.names()
+        assert names == sorted(names)

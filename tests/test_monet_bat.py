@@ -1,0 +1,241 @@
+"""BAT core semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AtomTypeError, BatError
+from repro.monet.bat import BAT, new_bat
+
+
+class TestConstruction:
+    def test_new_bat_types(self):
+        b = new_bat("oid", "dbl")
+        assert b.head_type == "oid"
+        assert b.tail_type == "dbl"
+        assert b.count() == 0
+
+    def test_unknown_atom_type_rejected(self):
+        with pytest.raises(AtomTypeError):
+            BAT("oid", "nonsense")
+
+    def test_void_head_auto_assigns_dense_oids(self):
+        b = BAT("void", "int")
+        b.insert(10).insert(20).insert(30)
+        assert b.heads() == [0, 1, 2]
+        assert b.tails() == [10, 20, 30]
+
+    def test_single_arg_insert_requires_void(self):
+        b = BAT("oid", "int")
+        with pytest.raises(BatError):
+            b.insert(5)
+
+    def test_insert_coerces_tail(self):
+        b = BAT("void", "dbl")
+        b.insert(1)
+        assert isinstance(b.tails()[0], float)
+
+    def test_insert_rejects_bad_value(self):
+        b = BAT("void", "int")
+        with pytest.raises(AtomTypeError):
+            b.insert("not a number")
+
+    def test_bool_not_an_int(self):
+        b = BAT("void", "int")
+        with pytest.raises(AtomTypeError):
+            b.insert(True)
+
+    def test_bulk_insert_alignment_check(self):
+        b = BAT("oid", "int")
+        with pytest.raises(BatError):
+            b.insert_bulk([1, 2], [10])
+
+    def test_bulk_insert_void(self):
+        b = BAT("void", "dbl")
+        b.insert_bulk(None, [0.1, 0.2, 0.3])
+        assert b.count() == 3
+        assert b.heads() == [0, 1, 2]
+
+
+class TestLookup:
+    def setup_method(self):
+        self.b = BAT("str", "flt")
+        for name, score in (("Service", 0.3), ("Smash", 0.9), ("Backhand", 0.1)):
+            self.b.insert(name, score)
+
+    def test_find_returns_first_tail(self):
+        assert self.b.find("Smash") == pytest.approx(0.9)
+
+    def test_find_missing_raises(self):
+        with pytest.raises(BatError):
+            self.b.find("Volley")
+
+    def test_exist(self):
+        assert self.b.exist("Service")
+        assert not self.b.exist("Volley")
+
+    def test_fetch_positional(self):
+        assert self.b.fetch(1) == ("Smash", pytest.approx(0.9))
+
+    def test_fetch_out_of_range(self):
+        with pytest.raises(BatError):
+            self.b.fetch(10)
+
+    def test_reverse_then_find_maps_score_to_name(self):
+        # the Fig. 4 idiom: (parEval.reverse).find(best)
+        best = self.b.max()
+        assert self.b.reverse().find(best) == "Smash"
+
+
+class TestOperators:
+    def test_reverse_swaps_columns(self):
+        b = BAT("void", "str")
+        b.insert("a").insert("b")
+        r = b.reverse()
+        assert r.heads() == ["a", "b"]
+        assert r.tails() == [0, 1]
+
+    def test_mirror(self):
+        b = BAT("void", "str")
+        b.insert("x")
+        m = b.mirror()
+        assert m.heads() == m.tails() == [0]
+
+    def test_mark_renumbers_tails(self):
+        b = BAT("void", "str")
+        b.insert("x").insert("y")
+        assert b.mark(100).tails() == [100, 101]
+
+    def test_select_equality(self):
+        b = BAT("void", "int")
+        b.insert_bulk(None, [1, 2, 2, 3])
+        assert b.select(2).heads() == [1, 2]
+
+    def test_select_range_is_inclusive(self):
+        b = BAT("void", "int")
+        b.insert_bulk(None, [1, 2, 3, 4, 5])
+        assert b.select(2, 4).tails() == [2, 3, 4]
+
+    def test_filter_tail_predicate(self):
+        b = BAT("void", "int")
+        b.insert_bulk(None, [1, 2, 3, 4])
+        assert b.filter_tail(lambda v: v % 2 == 0).tails() == [2, 4]
+
+    def test_join(self):
+        ab = BAT("str", "int")
+        ab.insert("x", 1).insert("y", 2)
+        bc = BAT("int", "str")
+        bc.insert(1, "one").insert(2, "two").insert(1, "uno")
+        joined = ab.join(bc)
+        assert set(zip(joined.heads(), joined.tails())) == {
+            ("x", "one"),
+            ("x", "uno"),
+            ("y", "two"),
+        }
+
+    def test_semijoin_keeps_matching_heads(self):
+        left = BAT("int", "str")
+        left.insert(1, "a").insert(2, "b")
+        right = BAT("int", "str")
+        right.insert(2, "whatever")
+        assert left.semijoin(right).tails() == ["b"]
+
+    def test_kdiff(self):
+        left = BAT("int", "str")
+        left.insert(1, "a").insert(2, "b")
+        right = BAT("int", "str")
+        right.insert(2, "x")
+        assert left.kdiff(right).tails() == ["a"]
+
+    def test_kunion_deduplicates_heads(self):
+        left = BAT("int", "str")
+        left.insert(1, "a")
+        right = BAT("int", "str")
+        right.insert(1, "conflict").insert(2, "b")
+        union = left.kunion(right)
+        assert sorted(union.heads()) == [1, 2]
+
+    def test_slice(self):
+        b = BAT("void", "int")
+        b.insert_bulk(None, list(range(10)))
+        assert b.slice(2, 5).tails() == [2, 3, 4]
+
+    def test_unique(self):
+        b = BAT("int", "int")
+        b.insert(1, 1).insert(1, 1).insert(2, 1)
+        assert b.unique().count() == 2
+
+    def test_sort_by_tail(self):
+        b = BAT("str", "int")
+        b.insert("c", 3).insert("a", 1).insert("b", 2)
+        assert b.sort().tails() == [1, 2, 3]
+        assert b.sort(reverse=True).heads() == ["c", "b", "a"]
+
+    def test_delete_and_replace(self):
+        b = BAT("str", "int")
+        b.insert("a", 1).insert("b", 2).insert("a", 3)
+        b.delete("a")
+        assert b.count() == 1
+        b.replace("b", 20)
+        assert b.find("b") == 20
+
+    def test_replace_missing_head(self):
+        b = BAT("str", "int")
+        with pytest.raises(BatError):
+            b.replace("nope", 1)
+
+
+class TestAggregates:
+    def setup_method(self):
+        self.b = BAT("void", "dbl")
+        self.b.insert_bulk(None, [1.0, 2.0, 3.0, 4.0])
+
+    def test_max_min_sum_avg(self):
+        assert self.b.max() == 4.0
+        assert self.b.min() == 1.0
+        assert self.b.sum() == 10.0
+        assert self.b.avg() == 2.5
+
+    def test_empty_aggregate_raises(self):
+        empty = BAT("void", "dbl")
+        with pytest.raises(BatError):
+            empty.max()
+
+    def test_histogram(self):
+        b = BAT("void", "str")
+        for v in ("x", "y", "x"):
+            b.insert(v)
+        h = dict(zip(b.histogram().heads(), b.histogram().tails()))
+        assert h == {"x": 2, "y": 1}
+
+    def test_tail_array_dtype(self):
+        assert self.b.tail_array().dtype == np.float64
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=50))
+def test_property_select_range_equals_python_filter(values):
+    b = BAT("void", "int")
+    b.insert_bulk(None, values)
+    lo, hi = -100, 100
+    expected = [v for v in values if lo <= v <= hi]
+    assert b.select(lo, hi).tails() == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False, width=32), min_size=1, max_size=40))
+def test_property_reverse_is_involution(values):
+    b = BAT("void", "dbl")
+    b.insert_bulk(None, values)
+    rr = b.reverse().reverse()
+    assert rr.heads() == b.heads()
+    assert rr.tails() == b.tails()
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 20), min_size=1, max_size=40))
+def test_property_histogram_counts_sum_to_size(values):
+    b = BAT("void", "int")
+    b.insert_bulk(None, values)
+    assert sum(b.histogram().tails()) == len(values)

@@ -1,0 +1,203 @@
+"""Synthetic race substrate: timelines, annotations, audio, video."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SynthesisError
+from repro.synth.annotations import GroundTruth, Interval, merge_intervals, raster
+from repro.synth.audio_synth import synthesize_audio
+from repro.synth.grandprix import BELGIAN_GP, GERMAN_GP, USA_GP
+from repro.synth.race import RaceSpec, generate_timeline
+from repro.synth.text_synth import draw_overlay
+from repro.synth.video_synth import RaceVideoRenderer
+
+SPEC = RaceSpec(
+    name="unit",
+    duration=200.0,
+    n_passings=2,
+    n_fly_outs=1,
+    n_pit_stops=1,
+    seed=4,
+)
+
+
+class TestIntervals:
+    def test_empty_interval_rejected(self):
+        with pytest.raises(SynthesisError):
+            Interval(5, 5)
+
+    def test_overlap_seconds(self):
+        assert Interval(0, 4).overlap_seconds(Interval(2, 6)) == 2.0
+        assert Interval(0, 1).overlap_seconds(Interval(2, 3)) == 0.0
+
+    def test_merge_with_gap(self):
+        merged = merge_intervals([Interval(0, 1), Interval(1.4, 2)], gap=0.5)
+        assert len(merged) == 1
+        merged = merge_intervals([Interval(0, 1), Interval(2, 3)], gap=0.5)
+        assert len(merged) == 2
+
+    def test_raster(self):
+        r = raster([Interval(0.5, 1.0)], 20, 0.1)
+        assert r[5] == 1.0 and r[4] == 0.0 and r[10] == 0.0
+        assert r.sum() == pytest.approx(5.0)
+
+    def test_ground_truth_kinds(self):
+        truth = GroundTruth(duration=10.0)
+        with pytest.raises(SynthesisError):
+            truth.of_kind("nonsense")
+
+
+class TestTimeline:
+    def test_event_counts_match_spec(self):
+        timeline = generate_timeline(SPEC)
+        kinds = [e.kind for e in timeline.events]
+        assert kinds.count("start") == 1
+        assert kinds.count("passing") == SPEC.n_passings
+        assert kinds.count("fly_out") == SPEC.n_fly_outs
+        assert kinds.count("pit_stop") == SPEC.n_pit_stops
+
+    def test_deterministic_given_seed(self):
+        a = generate_timeline(SPEC)
+        b = generate_timeline(SPEC)
+        assert [e.time for e in a.events] == [e.time for e in b.events]
+
+    def test_events_inside_race(self):
+        timeline = generate_timeline(SPEC)
+        for event in timeline.events:
+            assert 0 <= event.time < SPEC.duration
+            assert event.time + event.duration <= SPEC.duration
+
+    def test_events_well_separated(self):
+        timeline = generate_timeline(SPEC)
+        times = sorted(e.time for e in timeline.events if e.kind != "start")
+        gaps = np.diff(times)
+        assert gaps.min() >= 17.9
+
+    def test_replays_follow_events(self):
+        timeline = generate_timeline(SPEC)
+        for interval, event in timeline.replays:
+            assert interval.start >= event.time + event.duration
+
+    def test_ground_truth_highlights_cover_events(self):
+        timeline = generate_timeline(SPEC)
+        truth = timeline.ground_truth()
+        for event in timeline.events:
+            if event.kind in ("start", "passing", "fly_out"):
+                assert any(
+                    event.interval.overlaps(h) for h in truth.highlights
+                ), event
+
+    def test_usa_has_no_flyouts(self):
+        truth = generate_timeline(USA_GP).ground_truth()
+        assert truth.fly_outs == []
+
+    def test_german_passings_visible(self):
+        timeline = generate_timeline(GERMAN_GP)
+        passings = [e for e in timeline.events if e.kind == "passing"]
+        assert np.mean([e.visibility for e in passings]) > 0.7
+        timeline_b = generate_timeline(BELGIAN_GP)
+        passings_b = [e for e in timeline_b.events if e.kind == "passing"]
+        assert np.mean([e.visibility for e in passings_b]) < 0.5
+
+    def test_too_short_race_rejected(self):
+        with pytest.raises(SynthesisError):
+            RaceSpec(name="x", duration=60.0)
+
+    def test_overlays_fit_frame(self):
+        from repro.text.patterns import render_text
+
+        timeline = generate_timeline(SPEC)
+        for _, words in timeline.overlays:
+            width = render_text(" ".join(words), scale=1, spacing=1).shape[1]
+            assert width + 6 <= 192, words
+
+
+class TestAudioSynth:
+    def test_signal_shape_and_range(self):
+        timeline = generate_timeline(SPEC)
+        audio = synthesize_audio(timeline)
+        assert audio.signal.duration == pytest.approx(SPEC.duration)
+        assert np.abs(audio.signal.samples).max() <= 1.0
+
+    def test_phone_slots_align(self):
+        timeline = generate_timeline(SPEC)
+        audio = synthesize_audio(timeline)
+        assert len(audio.phone_slots) == int(SPEC.duration * 10)
+
+    def test_keywords_planted_in_phone_stream(self):
+        timeline = generate_timeline(SPEC)
+        audio = synthesize_audio(timeline)
+        from repro.audio.keywords import F1_KEYWORDS
+
+        for time, word in timeline.keywords[:3]:
+            slot = int(time / 0.1)
+            phones = audio.phone_slots[slot : slot + len(F1_KEYWORDS.get(word, ()))]
+            if word in F1_KEYWORDS and all(p is not None for p in phones):
+                assert tuple(phones) == F1_KEYWORDS[word]
+
+    def test_excitement_louder_than_neutral(self):
+        timeline = generate_timeline(SPEC)
+        audio = synthesize_audio(timeline)
+        fs = audio.signal.sample_rate
+        truth = timeline.ground_truth()
+        r = raster(truth.excited_speech, int(SPEC.duration * 10))
+        env = audio.signal.samples**2
+        per_clip = env[: len(r) * fs // 10].reshape(len(r), -1).mean(axis=1)
+        assert per_clip[r > 0].mean() > 1.5 * per_clip[r == 0].mean()
+
+
+class TestVideoSynth:
+    def test_frames_deterministic(self):
+        timeline = generate_timeline(SPEC)
+        renderer = RaceVideoRenderer(timeline)
+        assert np.array_equal(renderer.frame(100), renderer.frame(100))
+
+    def test_stream_replayable(self):
+        timeline = generate_timeline(SPEC)
+        stream = RaceVideoRenderer(timeline).stream()
+        first = next(iter(stream))
+        again = next(iter(stream))
+        assert np.array_equal(first, again)
+
+    def test_semaphore_present_before_start(self):
+        from repro.video.semaphore import red_rectangle
+
+        timeline = generate_timeline(SPEC)
+        renderer = RaceVideoRenderer(timeline, noise=0)
+        start = next(e for e in timeline.events if e.kind == "start")
+        frame = renderer.frame(int((start.time - 1.0) * 10))
+        assert red_rectangle(frame) is not None
+        frame_after = renderer.frame(int((start.time + 2.0) * 10))
+        assert red_rectangle(frame_after) is None
+
+    def test_sand_during_flyout(self):
+        from repro.video.flyout import sand_fraction
+
+        timeline = generate_timeline(SPEC)
+        renderer = RaceVideoRenderer(timeline, noise=0)
+        fly = next(e for e in timeline.events if e.kind == "fly_out")
+        mid = renderer.frame(int((fly.time + fly.duration / 2) * 10))
+        before = renderer.frame(int((fly.time - 5.0) * 10))
+        assert sand_fraction(mid) > sand_fraction(before) + 0.02
+
+    def test_overlay_rendered(self):
+        timeline = generate_timeline(SPEC)
+        renderer = RaceVideoRenderer(timeline, noise=0)
+        interval, words = timeline.overlays[0]
+        frame = renderer.frame(int((interval.start + 1.0) * 10))
+        strip = frame[int(144 * 0.8) :]
+        assert (strip > 200).any()  # bright characters present
+
+    def test_draw_overlay_too_wide_rejected(self):
+        frame = np.zeros((72, 60, 3), dtype=np.uint8)
+        with pytest.raises(SynthesisError):
+            draw_overlay(frame, ["CLASSIFICATION", "CLASSIFICATION"])
+
+
+class TestPresets:
+    @pytest.mark.parametrize("spec", [GERMAN_GP, BELGIAN_GP, USA_GP])
+    def test_presets_generate(self, spec):
+        timeline = generate_timeline(spec)
+        assert timeline.duration == spec.duration
+        truth = timeline.ground_truth()
+        assert truth.highlights

@@ -1,0 +1,239 @@
+"""Text substrate: font, detection, refinement, segmentation, recognition,
+overlay semantics, and the full pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SignalError
+from repro.text.detection import TextDetector, TextDetectorConfig, shaded_region
+from repro.text.overlay import parse_overlay
+from repro.text.patterns import GLYPH_HEIGHT, GLYPH_WIDTH, GLYPHS, glyph, render_text
+from repro.text.recognition import (
+    DEFAULT_LEXICON,
+    match_word,
+    recognize_region,
+    recognize_words,
+)
+from repro.text.refinement import MAGNIFICATION, binarize, magnify, min_intensity_filter
+from repro.text.segmentation import group_words, segment_characters
+
+H, W = 72, 192
+
+
+def overlay_frames(text, scale=1, n=4, seed=0, shade=28, ink=232, noise=18):
+    rng = np.random.default_rng(seed)
+    bitmap = render_text(text, scale=scale, spacing=1)
+    h, w = bitmap.shape
+    region = np.full((h + 8, w + 8, 3), shade, dtype=np.uint8)
+    region[4 : 4 + h, 4 : 4 + w][bitmap.astype(bool)] = ink
+    out = []
+    for _ in range(n):
+        jitter = rng.integers(-noise, noise * 2, region.shape)
+        out.append(np.clip(region.astype(np.int16) + jitter, 0, 255).astype(np.uint8))
+    return out
+
+
+class TestPatterns:
+    def test_glyph_shapes(self):
+        for char, bitmap in GLYPHS.items():
+            assert bitmap.shape == (GLYPH_HEIGHT, GLYPH_WIDTH), char
+
+    def test_glyphs_distinct(self):
+        letters = [c for c in GLYPHS if c.isalnum()]
+        seen = {}
+        for c in letters:
+            key = GLYPHS[c].tobytes()
+            assert key not in seen, f"{c} duplicates {seen.get(key)}"
+            seen[key] = c
+
+    def test_render_scale(self):
+        assert render_text("AB", scale=3).shape == (21, 33)
+
+    def test_render_case_insensitive(self):
+        assert np.array_equal(render_text("abc"), render_text("ABC"))
+
+    def test_render_unknown_char(self):
+        with pytest.raises(SignalError):
+            render_text("A~B")
+
+    def test_render_empty(self):
+        with pytest.raises(SignalError):
+            render_text("")
+
+    def test_glyph_lookup(self):
+        assert glyph("a").shape == (7, 5)
+
+
+class TestDetection:
+    def _frame_with_overlay(self, rng):
+        f = np.full((H, W, 3), 120, dtype=np.uint8)
+        bitmap = render_text("PIT STOP", scale=1)
+        strip_top = int(H * 0.8)
+        f[strip_top:, :] = 25
+        h, w = bitmap.shape
+        top = strip_top + 3
+        f[top : top + h, 6 : 6 + w][bitmap.astype(bool)] = 235
+        return np.clip(f.astype(np.int16) + rng.integers(-6, 7, f.shape), 0, 255).astype(np.uint8)
+
+    def test_shaded_region_crop(self):
+        f = np.zeros((100, 50, 3), dtype=np.uint8)
+        assert shaded_region(f, 0.2).shape == (20, 50, 3)
+
+    def test_frame_has_shade(self, rng):
+        detector = TextDetector()
+        assert detector.frame_has_shade(self._frame_with_overlay(rng))
+        bright = np.full((H, W, 3), 150, dtype=np.uint8)
+        assert not detector.frame_has_shade(bright)
+
+    def test_segments_duration_criteria(self, rng):
+        detector = TextDetector(TextDetectorConfig(min_duration_frames=5))
+        plain = np.full((H, W, 3), 120, dtype=np.uint8)
+        frames = [plain] * 5 + [self._frame_with_overlay(rng) for _ in range(8)] + [plain] * 5
+        segments = detector.segments(frames)
+        assert len(segments) == 1
+        assert segments[0].start_frame == 5
+        assert segments[0].n_frames == 8
+
+    def test_short_run_skipped(self, rng):
+        detector = TextDetector(TextDetectorConfig(min_duration_frames=5))
+        plain = np.full((H, W, 3), 120, dtype=np.uint8)
+        frames = [plain] * 5 + [self._frame_with_overlay(rng) for _ in range(2)] + [plain] * 5
+        assert detector.segments(frames) == []
+
+    def test_uniform_dark_strip_is_not_text(self):
+        detector = TextDetector()
+        f = np.full((H, W, 3), 120, dtype=np.uint8)
+        f[int(H * 0.8) :, :] = 25  # shade without characters
+        assert detector.segments([f] * 8) == []
+
+
+class TestRefinement:
+    def test_min_filter_suppresses_transients(self, rng):
+        base = np.full((20, 30), 50.0)
+        regions = []
+        for _ in range(5):
+            r = base.copy()
+            r[rng.integers(0, 20), rng.integers(0, 30)] = 250.0  # sparkle
+            regions.append(r)
+        filtered = min_intensity_filter(regions)
+        assert filtered.max() <= 50.0
+
+    def test_min_filter_shape_check(self):
+        with pytest.raises(SignalError):
+            min_intensity_filter([np.zeros((2, 2)), np.zeros((3, 3))])
+
+    def test_magnify_factor(self):
+        assert magnify(np.ones((3, 4)), 4).shape == (12, 16)
+        assert MAGNIFICATION == 4
+
+    def test_binarize_rgb_and_gray(self):
+        rgb = np.zeros((4, 4, 3))
+        rgb[0, 0] = [255, 255, 255]
+        b = binarize(rgb)
+        assert b[0, 0] == 1 and b.sum() == 1
+        gray = np.full((2, 2), 200.0)
+        assert binarize(gray).all()
+
+
+class TestSegmentation:
+    def test_character_count(self):
+        binary = magnify(render_text("LAP", scale=1), 4).astype(np.uint8)
+        assert len(segment_characters(binary)) == 3
+
+    def test_double_projection_heights(self):
+        # "." sits low; its refined box must be shorter than a letter's
+        binary = magnify(render_text("A.", scale=1), 4).astype(np.uint8)
+        boxes = segment_characters(binary)
+        assert len(boxes) == 2
+        assert boxes[1].height < boxes[0].height
+
+    def test_group_words_splits_on_spaces(self):
+        binary = magnify(render_text("PIT STOP", scale=1), 4).astype(np.uint8)
+        words = group_words(segment_characters(binary))
+        assert [len(w) for w in words] == [3, 4]
+
+    def test_empty_region(self):
+        assert segment_characters(np.zeros((10, 10), dtype=np.uint8)) == []
+        assert group_words([]) == []
+
+
+class TestRecognition:
+    def test_clean_word(self):
+        binary = magnify(render_text("WINNER", scale=1), 4).astype(np.uint8)
+        matches = recognize_words(binary)
+        assert [m.word for m in matches] == ["WINNER"]
+        assert matches[0].score > 0.95
+
+    def test_length_category_restricts(self):
+        bitmap = magnify(render_text("LAP", scale=1), 4).astype(np.uint8)
+        match = match_word(bitmap, ("CLASSIFICATION", "LAP"), n_characters=3)
+        assert match.word == "LAP"
+
+    def test_below_threshold_rejected(self, rng):
+        noise = (rng.random((28, 80)) > 0.5).astype(np.uint8)
+        assert match_word(noise, DEFAULT_LEXICON, n_characters=4) is None
+
+    def test_multidigit_number(self):
+        binary = magnify(render_text("LAP 47", scale=1), 4).astype(np.uint8)
+        words = [m.word for m in recognize_words(binary)]
+        assert words == ["LAP", "47"]
+
+    def test_recognize_region_full_pipeline(self):
+        matches = recognize_region(overlay_frames("PIT STOP MONTOYA"))
+        assert [m.word for m in matches] == ["PIT", "STOP", "MONTOYA"]
+
+    def test_recognition_survives_noise(self):
+        matches = recognize_region(overlay_frames("FINAL LAP", seed=5, noise=25))
+        assert [m.word for m in matches] == ["FINAL", "LAP"]
+
+    @pytest.mark.parametrize(
+        "text", ["SCHUMACHER", "BARRICHELLO", "HAKKINEN", "COULTHARD", "MONTOYA"]
+    )
+    def test_driver_names(self, text):
+        matches = recognize_region(overlay_frames(text))
+        assert [m.word for m in matches] == [text]
+
+
+class TestOverlaySemantics:
+    def test_pit_stop(self):
+        e = parse_overlay(["PIT", "STOP", "BARRICHELLO"])
+        assert e.kind == "pit_stop" and e.drivers == ["BARRICHELLO"]
+
+    def test_classification_with_lap(self):
+        e = parse_overlay(["1", "SCHUMACHER", "2", "HAKKINEN", "LAP", "12"])
+        assert e.kind == "classification"
+        assert e.positions == {"SCHUMACHER": 1, "HAKKINEN": 2}
+        assert e.lap == 12
+
+    def test_winner(self):
+        assert parse_overlay(["WINNER", "RALF"]).kind == "winner"
+
+    def test_final_lap(self):
+        assert parse_overlay(["FINAL", "LAP"]).kind == "final_lap"
+
+    def test_lap_counter(self):
+        e = parse_overlay(["LAP", "43"])
+        assert e.kind == "lap" and e.lap == 43
+
+    def test_driver_info(self):
+        e = parse_overlay(["MONTOYA"])
+        assert e.kind == "driver_info" and e.drivers == ["MONTOYA"]
+
+    def test_unknown(self):
+        assert parse_overlay(["FASTEST"]).kind == "unknown"
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.text(
+        alphabet=st.sampled_from("ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_property_render_width_formula(text):
+    bitmap = render_text(text, scale=1, spacing=1)
+    expected_width = len(text) * GLYPH_WIDTH + (len(text) - 1)
+    assert bitmap.shape == (GLYPH_HEIGHT, expected_width)

@@ -1,0 +1,149 @@
+"""CobraVDBMS facade: extensions wiring, domains, DBN extension + module."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CobraError
+from repro.cobra.catalog import DomainKnowledge
+from repro.cobra.extensions import DbnExtension, DbnModule, RuleExtension
+from repro.cobra.model import RawVideo, VideoDocument
+from repro.cobra.vdbms import CobraVDBMS
+from repro.dbn.evidence import EvidenceSequence
+from repro.dbn.simulate import sample_sequence
+from repro.dbn.template import DbnTemplate
+from repro.monet.bat import BAT
+from repro.monet.kernel import MonetKernel
+from repro.rules.engine import Fact, Pattern, Rule
+
+
+def single_evidence_template(seed=0) -> DbnTemplate:
+    t = DbnTemplate()
+    t.add_node("H", 2)
+    t.add_node("F", 2, observed=True)
+    t.add_intra_edge("H", "F")
+    t.add_inter_edge("H", "H")
+    t.randomize(np.random.default_rng(seed))
+    return t
+
+
+class TestFacade:
+    def test_four_extensions_registered(self):
+        db = CobraVDBMS()
+        assert set(db.extensions.names()) == {"videoproc", "hmm", "dbn", "rules"}
+
+    def test_kernel_has_extension_modules(self):
+        db = CobraVDBMS()
+        assert db.kernel.has_command("hmmOneCall")
+        assert db.kernel.has_command("dbnInfer")
+        assert "dbnInferP" in db.kernel.procedures()
+
+    def test_register_document_needs_domain(self):
+        db = CobraVDBMS()
+        doc = VideoDocument(
+            raw=RawVideo("v1", "synthetic://x", 10.0, 10.0, 192, 144, 16000)
+        )
+        with pytest.raises(CobraError):
+            db.register_document(doc, "nonexistent")
+
+    def test_query_without_videos(self):
+        db = CobraVDBMS()
+        with pytest.raises(CobraError):
+            db.query("RETRIEVE highlight")
+
+
+class TestDbnExtension:
+    def test_register_and_infer(self, rng):
+        kernel = MonetKernel()
+        ext = DbnExtension(kernel)
+        template = single_evidence_template()
+        ext.register("demo", template)
+        _, evidence = sample_sequence(template, 30, rng)
+        posterior = ext.infer("demo", evidence, "H")
+        assert posterior.shape == (30,)
+        assert np.all((posterior >= 0) & (posterior <= 1))
+
+    def test_loglik_operator(self, rng):
+        kernel = MonetKernel()
+        ext = DbnExtension(kernel)
+        template = single_evidence_template()
+        ext.register("demo", template)
+        _, evidence = sample_sequence(template, 20, rng)
+        assert ext.log_likelihood("demo", evidence) < 0
+
+    def test_train_reregisters(self, rng):
+        kernel = MonetKernel()
+        ext = DbnExtension(kernel)
+        ext.register("demo", single_evidence_template())
+        segments = [
+            sample_sequence(single_evidence_template(seed=9), 20, rng)[1]
+            for _ in range(3)
+        ]
+        learned = ext.train("demo", segments, max_iterations=3)
+        assert ext.template("demo") is learned
+
+    def test_unknown_model(self):
+        ext = DbnExtension(MonetKernel())
+        with pytest.raises(CobraError):
+            ext.template("ghost")
+
+    def test_mil_level_inference_matches_python(self, rng):
+        """The Fig. 5 path: MIL PROC -> module command -> engine."""
+        kernel = MonetKernel()
+        ext = DbnExtension(kernel)
+        template = single_evidence_template()
+        ext.register("demo", template)
+        _, evidence = sample_sequence(template, 15, rng)
+        values = evidence.hard_values("F")
+
+        obs = BAT("void", "int")
+        obs.insert_bulk(None, [int(v) for v in values])
+        result = kernel.call("dbnInferP", ["demo", "H", obs])
+        python_posterior = ext.infer(
+            "demo", EvidenceSequence(template, hard={"F": values}), "H"
+        )
+        assert np.allclose(result.tail_array(), python_posterior, atol=1e-12)
+
+    def test_dbn_infer_rejects_multi_evidence(self):
+        kernel = MonetKernel()
+        module = DbnModule()
+        t = DbnTemplate()
+        t.add_node("H", 2)
+        t.add_node("F", 2, observed=True)
+        t.add_node("G", 2, observed=True)
+        t.add_intra_edge("H", "F")
+        t.add_intra_edge("H", "G")
+        t.add_inter_edge("H", "H")
+        t.randomize(np.random.default_rng(0))
+        module.register_model("multi", t)
+        obs = BAT("void", "int")
+        obs.insert(0)
+        with pytest.raises(CobraError):
+            module.dbnInfer("multi", "H", obs)
+
+
+class TestRuleExtension:
+    def test_run_applies_registered_rules(self):
+        ext = RuleExtension()
+        ext.add_rule(
+            Rule(
+                "mark",
+                [Pattern.of("raw", v=1)],
+                action=lambda b: [Fact.of("marked")],
+            )
+        )
+        facts = ext.run([Fact.of("raw", v=1), Fact.of("raw", v=2)])
+        assert Fact.of("marked") in facts
+
+    def test_run_isolated_between_calls(self):
+        ext = RuleExtension()
+        ext.add_rule(
+            Rule(
+                "mark",
+                [Pattern.of("raw", v=1)],
+                action=lambda b: [Fact.of("marked")],
+            )
+        )
+        first = ext.run([Fact.of("raw", v=1)])
+        second = ext.run([Fact.of("raw", v=2)])
+        assert Fact.of("marked") in first
+        assert Fact.of("marked") not in second
