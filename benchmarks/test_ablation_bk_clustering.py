@@ -10,12 +10,11 @@ Reproduced: filtering with the exact single-cluster belief vs the factored
 projected posterior deviates from the exact one (the "misclassifications").
 """
 
+from conftest import record_result
 import numpy as np
 
 from repro.fusion.audio_networks import AUDIO_NODE_TO_FEATURE
 from repro.fusion.discretize import hard_evidence
-
-from conftest import record_result
 
 
 def test_ablation_bk_clustering(german, audio_dbn, benchmark):

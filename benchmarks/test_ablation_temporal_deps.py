@@ -8,9 +8,9 @@ v2 (which funnels everything through the query node and loses the
 intermediates' own temporal persistence).
 """
 
-from repro.fusion.pipeline import AudioExperiment
-
 from conftest import record_result
+
+from repro.fusion.pipeline import AudioExperiment
 
 
 def test_ablation_temporal_variants(german, benchmark):

@@ -6,6 +6,7 @@ was trained for clean speech, and the other was aimed at word recognition
 in TV news. The latter showed better results."
 """
 
+from conftest import record_result
 import numpy as np
 
 from repro.audio.endpoint import detect_speech
@@ -15,8 +16,6 @@ from repro.audio.keywords import (
     KeywordSpotter,
 )
 from repro.synth.annotations import raster
-
-from conftest import record_result
 
 
 def test_endpoint_detection_finds_speech(german, benchmark):

@@ -10,14 +10,13 @@ step (spikiness), threshold-crossing count at 0.5, and separability (mean
 posterior inside minus outside the annotated excitement).
 """
 
+from conftest import record_result
 import numpy as np
 
 from repro.fusion.audio_networks import AUDIO_NODE_TO_FEATURE
 from repro.fusion.discretize import hard_evidence
 from repro.fusion.pipeline import AudioExperiment
 from repro.synth.annotations import raster
-
-from conftest import record_result
 
 
 def _crossings(series: np.ndarray, threshold: float = 0.5) -> int:

@@ -6,9 +6,9 @@ the race, while the integrated audio-visual DBN was able to correct the
 results and detect about 80% of interesting segments in the race."
 """
 
-from repro.fusion.evaluate import extract_segments, segment_precision_recall
-
 from conftest import record_result
+
+from repro.fusion.evaluate import extract_segments, segment_precision_recall
 
 
 def test_av_fusion_improves_highlight_recall(german, audio_dbn, av_with_passing, benchmark):

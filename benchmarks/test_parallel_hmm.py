@@ -10,6 +10,7 @@ evaluated through the parallel MIL PROC, correct argmax) and measures the
 end-to-end classification cost.
 """
 
+from conftest import record_result
 import numpy as np
 import pytest
 
@@ -17,8 +18,6 @@ from repro.hmm.algorithms import log_likelihood, sample
 from repro.hmm.model import DiscreteHmm
 from repro.hmm.parallel import HmmExtension
 from repro.monet.kernel import MonetKernel
-
-from conftest import record_result
 
 MODEL_NAMES = ["Service", "Forehand", "Smash", "Backhand", "VolleyB", "VolleyF"]
 

@@ -5,13 +5,12 @@ events pulled in dynamically by the query preprocessor, compound events,
 and the combined DBN+text joins.
 """
 
+from conftest import record_result
 import pytest
 
 from repro.cobra.compound import Component, CompoundEventDef, TemporalConstraint
 from repro.fusion.evaluate import segment_precision_recall
 from repro.retrieval.system import FormulaOneSystem
-
-from conftest import record_result
 
 
 @pytest.fixture(scope="module")

@@ -5,9 +5,9 @@ calculate the histogram difference among several consecutive frames. This
 algorithm resulted in the accuracy of over 90%."
 """
 
-from repro.video.shots import ShotDetector
-
 from conftest import record_result
+
+from repro.video.shots import ShotDetector
 
 
 def test_shot_detection_over_90_percent(german, benchmark):

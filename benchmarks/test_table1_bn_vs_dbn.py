@@ -17,9 +17,9 @@ precisions saturate higher than the paper's — the BN/DBN *gap* is the
 reproduced phenomenon).
 """
 
-from repro.fusion.pipeline import AudioExperiment
-
 from conftest import record_result
+
+from repro.fusion.pipeline import AudioExperiment
 
 CONFIGS = [
     ("BN-7a", "a", None),

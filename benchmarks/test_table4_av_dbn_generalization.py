@@ -44,7 +44,6 @@ def test_table4_generalization(av_with_passing, av_without_passing, belgian, usa
 
     # (a) the passing detector must NOT transfer to belgian camera work:
     passing = rows["belgian+passing"].get("passing", (0.0, 0.0))
-    german_passing_ok = True  # asserted in table 3
     assert passing[1] <= 60.0, "passing recall should collapse off-german"
     # (b) removing the sub-network must not hurt belgian highlights
     assert (

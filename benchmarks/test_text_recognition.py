@@ -6,9 +6,9 @@ bench measures how many scheduled overlays the full pipeline recovers with
 correctly parsed semantics.
 """
 
-from repro.text.pipeline import extract_overlays
-
 from conftest import record_result
+
+from repro.text.pipeline import extract_overlays
 
 _KIND_OF_FIRST_WORD = {
     "1": "classification",

@@ -18,11 +18,24 @@ Quick start::
     print(experiment.evaluate(data).highlight_scores)
 """
 
-__version__ = "1.0.0"
-
-from repro import audio, bayes, cobra, dbn, fusion, hmm, moa, monet
-from repro import retrieval, rules, synth, text, video
+from repro import (
+    audio,
+    bayes,
+    cobra,
+    dbn,
+    fusion,
+    hmm,
+    moa,
+    monet,
+    retrieval,
+    rules,
+    synth,
+    text,
+    video,
+)
 from repro.errors import ReproError
+
+__version__ = "1.0.0"
 
 __all__ = [
     "audio", "bayes", "cobra", "dbn", "fusion", "hmm", "moa", "monet",

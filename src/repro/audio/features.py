@@ -19,8 +19,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import SignalError
 from repro.audio.signal import AudioSignal, window_function
+from repro.errors import SignalError
 
 __all__ = [
     "short_time_energy",

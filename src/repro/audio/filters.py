@@ -15,8 +15,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import SignalError
 from repro.audio.signal import AudioSignal
+from repro.errors import SignalError
 
 __all__ = [
     "bandpass",

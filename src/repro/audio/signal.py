@@ -11,8 +11,6 @@ substitution — every algorithm is sample-rate-parametric).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
-
 import numpy as np
 
 from repro.errors import SignalError

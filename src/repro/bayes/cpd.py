@@ -11,8 +11,8 @@ from typing import Hashable, Mapping, Sequence
 
 import numpy as np
 
-from repro.errors import CpdError
 from repro.bayes.factor import Factor
+from repro.errors import CpdError
 
 __all__ = ["TabularCpd"]
 

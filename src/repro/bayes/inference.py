@@ -12,9 +12,9 @@ from typing import Hashable, Mapping, Sequence
 
 import numpy as np
 
-from repro.errors import InferenceError
 from repro.bayes.factor import Factor
 from repro.bayes.network import BayesianNetwork
+from repro.errors import InferenceError
 
 __all__ = ["VariableElimination", "min_fill_order"]
 

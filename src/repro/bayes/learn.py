@@ -14,16 +14,16 @@ posteriors; the M-step normalizes them into new CPDs.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
+import itertools
 from typing import Hashable, Mapping, Sequence
 
 import numpy as np
 
-from repro.errors import LearningError
 from repro.bayes.cpd import TabularCpd
 from repro.bayes.inference import VariableElimination
 from repro.bayes.network import BayesianNetwork
+from repro.errors import LearningError
 
 __all__ = ["mle", "ExpectationMaximization", "EmResult"]
 

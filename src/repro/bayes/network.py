@@ -9,14 +9,14 @@ their mutual consistency.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Mapping, Sequence
+from typing import Hashable, Mapping, Sequence
 
 import numpy as np
 
-from repro.errors import GraphStructureError, InferenceError
 from repro.bayes.cpd import TabularCpd
 from repro.bayes.factor import Factor
 from repro.bayes.graph import Dag
+from repro.errors import GraphStructureError, InferenceError
 
 __all__ = ["BayesianNetwork"]
 

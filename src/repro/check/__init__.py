@@ -1,0 +1,51 @@
+"""Static plan verification for the three-level stack.
+
+Real DBMSs verify plans before running them. This package does the same for
+the reproduction's three levels:
+
+* :mod:`repro.check.milcheck` — type/scope checking of MIL procedures
+  against the kernel's command signature table (``MILnnn`` codes);
+* :mod:`repro.check.moacheck` — shape and binding validation of Moa
+  expression trees against the extension registry (``MOAnnn`` codes);
+* :mod:`repro.check.modelcheck` — linting of BN/DBN probability models and
+  their evidence mappings (``MODELnnn`` codes).
+
+All three report :class:`Diagnostic` findings through a shared
+:class:`DiagnosticReport`; error-severity findings raise the matching
+:class:`repro.errors.DiagnosticError` subclass at the registration choke
+points (``MilInterpreter.define_proc``, ``MoaCompiler.compile``,
+``DbnExtension.register``, the fusion experiments).
+
+Run the linter from the command line::
+
+    python -m repro.check                 # lint built-in procs + networks
+    python -m repro.check path/to/file.mil
+"""
+
+from repro.check.diagnostics import (
+    CheckMode,
+    Diagnostic,
+    DiagnosticReport,
+    Severity,
+)
+from repro.check.milcheck import MilChecker
+from repro.check.milcheck import check_proc as check_mil_proc
+from repro.check.milcheck import check_source as check_mil_source
+from repro.check.moacheck import MoaChecker
+from repro.check.moacheck import check_expr as check_moa_expr
+from repro.check.modelcheck import check_cpd, check_network, check_template
+
+__all__ = [
+    "CheckMode",
+    "Diagnostic",
+    "DiagnosticReport",
+    "MilChecker",
+    "MoaChecker",
+    "Severity",
+    "check_cpd",
+    "check_mil_proc",
+    "check_mil_source",
+    "check_moa_expr",
+    "check_network",
+    "check_template",
+]

@@ -1,0 +1,144 @@
+"""Shared diagnostic model for the static checkers.
+
+All three analyzers (:mod:`repro.check.milcheck`, :mod:`repro.check.moacheck`,
+:mod:`repro.check.modelcheck`) report findings as :class:`Diagnostic` values:
+a severity, a stable code (``MIL001``, ``MOA003``, ``MODEL002``, ...), an
+optional source/line location, and a human-readable message. A
+:class:`DiagnosticReport` aggregates them and raises the matching
+:class:`repro.errors.DiagnosticError` subclass when errors are present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import enum
+from typing import Iterable, Iterator
+
+from repro.errors import DiagnosticError
+
+__all__ = ["Severity", "Diagnostic", "DiagnosticReport", "CheckMode"]
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so ``max()`` picks the worst."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+class CheckMode(str, enum.Enum):
+    """Strictness of a checker wired into a registration choke point.
+
+    * ``ERROR`` — raise a :class:`repro.errors.DiagnosticError` subclass when
+      any error-severity diagnostic fires (warnings are collected silently);
+    * ``WARN`` — collect every diagnostic but never raise;
+    * ``OFF`` — skip checking entirely.
+    """
+
+    ERROR = "error"
+    WARN = "warn"
+    OFF = "off"
+
+    @staticmethod
+    def of(value: "CheckMode | str") -> "CheckMode":
+        if isinstance(value, CheckMode):
+            return value
+        try:
+            return CheckMode(value)
+        except ValueError:
+            valid = ", ".join(m.value for m in CheckMode)
+            raise ValueError(
+                f"unknown check mode {value!r}; expected one of {valid}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding.
+
+    Attributes:
+        code: stable diagnostic code (``MIL001``, ``MOA002``, ``MODEL003``).
+        message: human-readable description of the finding.
+        severity: :class:`Severity` of the finding.
+        source: logical origin — a PROC name, file path, or model name.
+        line: 1-based source line when the finding maps to MIL text.
+    """
+
+    code: str
+    message: str
+    severity: Severity = Severity.ERROR
+    source: str | None = None
+    line: int | None = None
+
+    def __str__(self) -> str:
+        location = self.source or "<input>"
+        if self.line is not None:
+            location = f"{location}:{self.line}"
+        return f"{location}: {self.severity} {self.code} {self.message}"
+
+
+class DiagnosticReport:
+    """An ordered collection of diagnostics with severity queries."""
+
+    def __init__(self, diagnostics: Iterable[Diagnostic] = ()):
+        self.diagnostics: list[Diagnostic] = list(diagnostics)
+
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        code: str,
+        message: str,
+        severity: Severity = Severity.ERROR,
+        source: str | None = None,
+        line: int | None = None,
+    ) -> Diagnostic:
+        diagnostic = Diagnostic(code, message, severity, source, line)
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __bool__(self) -> bool:
+        return bool(self.diagnostics)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    def has_errors(self) -> bool:
+        return bool(self.errors)
+
+    def codes(self) -> set[str]:
+        return {d.code for d in self.diagnostics}
+
+    # ------------------------------------------------------------------
+    def format(self) -> str:
+        return "\n".join(str(d) for d in self.diagnostics)
+
+    def raise_if_errors(
+        self,
+        context: str,
+        error_class: type[DiagnosticError] = DiagnosticError,
+    ) -> None:
+        """Raise ``error_class`` carrying the error diagnostics, if any."""
+        errors = self.errors
+        if errors:
+            count = len(errors)
+            noun = "error" if count == 1 else "errors"
+            raise error_class(f"{context}: {count} static {noun}", errors)

@@ -16,9 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.errors import CobraError
 from repro.cobra.metadata import MetadataStore
 from repro.cobra.model import VideoEvent
+from repro.errors import CobraError
 from repro.rules.temporal import holds
 from repro.synth.annotations import Interval
 

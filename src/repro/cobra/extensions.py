@@ -62,7 +62,7 @@ class DbnModule(MonetModule):
         except KeyError:
             raise CobraError(f"no DBN model named {name!r}") from None
 
-    @command()
+    @command(args=("str", "str", "BAT[void,int]"), returns="BAT[void,dbl]")
     def dbnInfer(self, model_name: str, node: str, obs: BAT) -> BAT:
         """Filter a single-evidence-node model over a symbol BAT.
 
@@ -90,12 +90,15 @@ class DbnExtension(MoaExtension):
 
     name = "dbn"
 
-    def __init__(self, kernel: MonetKernel):
+    def __init__(self, kernel: MonetKernel, check: str = "error"):
         self._module = DbnModule()
         kernel.load_module(self._module)
         kernel.run(DBN_INFER_PROC)
         self._kernel = kernel
         self._templates: dict[str, DbnTemplate] = {}
+        self._check = check
+        #: Model-lint diagnostics collected across registrations.
+        self.diagnostics: list[Any] = []
 
     def monet_module(self) -> MonetModule:
         return self._module
@@ -110,6 +113,14 @@ class DbnExtension(MoaExtension):
 
     # ------------------------------------------------------------------
     def register(self, name: str, template: DbnTemplate) -> None:
+        if self._check != "off":
+            from repro.check.modelcheck import check_template
+            from repro.errors import ModelCheckError
+
+            report = check_template(template, source=name)
+            self.diagnostics.extend(report)
+            if self._check == "error":
+                report.raise_if_errors(f"DBN model {name!r}", ModelCheckError)
         template.validate()
         self._templates[name] = template
         self._module.register_model(name, template)

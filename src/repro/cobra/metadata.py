@@ -14,8 +14,8 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.errors import CobraError
 from repro.cobra.model import VideoDocument, VideoEvent, VideoObject
+from repro.errors import CobraError
 from repro.monet.bat import BAT
 from repro.monet.kernel import MonetKernel
 from repro.synth.annotations import Interval

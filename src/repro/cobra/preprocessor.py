@@ -12,10 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import ExtractionError, UnknownConceptError
 from repro.cobra.catalog import DomainKnowledge, ExtractionMethod
 from repro.cobra.metadata import MetadataStore
 from repro.cobra.query import CoqlQuery
+from repro.errors import ExtractionError, UnknownConceptError
 
 __all__ = ["PreprocessReport", "QueryPreprocessor"]
 

@@ -31,12 +31,12 @@ the Allen relations of :mod:`repro.rules.temporal`.
 
 from __future__ import annotations
 
-import re
 from dataclasses import dataclass, field
+import re
 from typing import Any
 
-from repro.errors import QuerySyntaxError, UnknownConceptError
 from repro.cobra.metadata import MetadataStore
+from repro.errors import QuerySyntaxError, UnknownConceptError
 from repro.rules.temporal import ALLEN_RELATIONS, holds
 
 __all__ = ["Condition", "CoqlQuery", "parse_coql", "QueryExecutor"]

@@ -11,18 +11,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
-from repro.errors import CobraError
 from repro.cobra.catalog import DomainKnowledge, KnowledgeCatalog
 from repro.cobra.compound import CompoundEventDef
-from repro.cobra.metadata import MetadataStore
-from repro.cobra.model import VideoDocument
-from repro.cobra.preprocessor import PreprocessReport, QueryPreprocessor
-from repro.cobra.query import CoqlQuery, QueryExecutor, parse_coql
 from repro.cobra.extensions import (
     DbnExtension,
     RuleExtension,
     VideoProcessingExtension,
 )
+from repro.cobra.metadata import MetadataStore
+from repro.cobra.model import VideoDocument
+from repro.cobra.preprocessor import PreprocessReport, QueryPreprocessor
+from repro.cobra.query import CoqlQuery, QueryExecutor, parse_coql
+from repro.errors import CobraError
 from repro.hmm.parallel import HmmExtension
 from repro.moa.extension import ExtensionRegistry
 from repro.moa.rewrite import MoaCompiler
@@ -57,11 +57,13 @@ class CobraVDBMS:
         result = db.query('RETRIEVE fly_out WHERE ROLE driver = HAKKINEN')
     """
 
-    def __init__(self, threads: int = 4):
-        self.kernel = MonetKernel(threads=threads)
+    def __init__(self, threads: int = 4, check: str = "error"):
+        self.kernel = MonetKernel(threads=threads, check=check)
         self.metadata = MetadataStore(self.kernel)
         self.extensions = ExtensionRegistry()
-        self.compiler = MoaCompiler(self.kernel)
+        self.compiler = MoaCompiler(
+            self.kernel, extensions=self.extensions, check=check
+        )
         self.catalog = KnowledgeCatalog()
         self._domain_of_video: dict[str, str] = {}
         self._compound_defs: dict[str, CompoundEventDef] = {}
@@ -69,10 +71,19 @@ class CobraVDBMS:
         # the four extensions of §3
         self.videoproc = VideoProcessingExtension()
         self.hmm = HmmExtension(self.kernel, n_servers=6)
-        self.dbn = DbnExtension(self.kernel)
+        self.dbn = DbnExtension(self.kernel, check=check)
         self.rules = RuleExtension()
         for extension in (self.videoproc, self.hmm, self.dbn, self.rules):
             self.extensions.register(extension)
+
+    @property
+    def diagnostics(self) -> list[Any]:
+        """Static-analysis findings collected across all three levels."""
+        return (
+            self.kernel.diagnostics
+            + list(self.compiler.diagnostics)
+            + list(self.dbn.diagnostics)
+        )
 
     # ------------------------------------------------------------------
     # domains & documents

@@ -22,16 +22,16 @@ recursion is exact.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
+import itertools
 from typing import Sequence
 
 import numpy as np
 
-from repro.errors import InferenceError
 from repro.bayes.factor import Factor
 from repro.dbn.evidence import EvidenceSequence
 from repro.dbn.template import DbnTemplate
+from repro.errors import InferenceError
 
 __all__ = ["CompiledDbn", "FilterResult", "SmoothResult", "project_onto_clusters"]
 
@@ -191,7 +191,12 @@ class _SliceModel:
             )
 
         tables = []
-        for config in itertools.product(*[range(c) for c in self.coupling_cards]) if coupling_evidence else [()]:
+        configs = (
+            itertools.product(*[range(c) for c in self.coupling_cards])
+            if coupling_evidence
+            else [()]
+        )
+        for config in configs:
             reduced = base.reduce(dict(zip(coupling_evidence, config)))
             aligned = reduced.transpose(wanted)
             if transition:

@@ -13,8 +13,8 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.errors import InferenceError
 from repro.dbn.template import DbnTemplate
+from repro.errors import InferenceError
 
 __all__ = ["EvidenceSequence"]
 

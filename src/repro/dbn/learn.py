@@ -26,10 +26,10 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.errors import LearningError
 from repro.dbn.compiled import CompiledDbn
 from repro.dbn.evidence import EvidenceSequence
 from repro.dbn.template import DbnTemplate
+from repro.errors import LearningError
 
 __all__ = ["DbnEmResult", "dbn_em"]
 

@@ -4,9 +4,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import InferenceError
 from repro.dbn.evidence import EvidenceSequence
 from repro.dbn.template import DbnTemplate
+from repro.errors import InferenceError
 
 __all__ = ["sample_sequence"]
 

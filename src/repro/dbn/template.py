@@ -23,13 +23,13 @@ exact lists so callers never have to guess.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Sequence
 
 import numpy as np
 
-from repro.errors import CpdError, GraphStructureError
 from repro.bayes.cpd import TabularCpd
 from repro.bayes.graph import Dag
+from repro.errors import CpdError, GraphStructureError
 
 __all__ = ["DbnTemplate", "prev", "at_slice"]
 

@@ -8,10 +8,10 @@ are validated against variable elimination on small unrolled networks.
 
 from __future__ import annotations
 
-from repro.errors import GraphStructureError
 from repro.bayes.cpd import TabularCpd
 from repro.bayes.network import BayesianNetwork
 from repro.dbn.template import DbnTemplate, at_slice
+from repro.errors import GraphStructureError
 
 __all__ = ["unroll"]
 

@@ -55,6 +55,21 @@ class MoaTypeError(MoaError):
     """A Moa expression does not type-check against its structures."""
 
 
+class MoaNameError(MoaError):
+    """Reference to an unknown Moa extension or extension operator.
+
+    Carries ``suggestions`` — close-matching known names — so callers can
+    render a "did you mean" hint.
+    """
+
+    def __init__(self, message: str, suggestions: "list[str] | None" = None):
+        self.suggestions = list(suggestions or [])
+        if self.suggestions:
+            hint = ", ".join(repr(s) for s in self.suggestions)
+            message = f"{message} (did you mean {hint}?)"
+        super().__init__(message)
+
+
 class CobraError(ReproError):
     """Error at the conceptual (Cobra VDBMS) level."""
 
@@ -97,3 +112,30 @@ class SynthesisError(ReproError):
 
 class RuleError(ReproError):
     """Error in the rule-based inference extension."""
+
+
+class DiagnosticError(ReproError):
+    """A static checker found error-severity diagnostics.
+
+    The offending :class:`repro.check.Diagnostic` objects ride along on
+    ``diagnostics`` so callers can render per-line findings.
+    """
+
+    def __init__(self, message: str, diagnostics: "Sequence | None" = None):
+        self.diagnostics = list(diagnostics or [])
+        if self.diagnostics:
+            details = "\n".join(f"  {d}" for d in self.diagnostics)
+            message = f"{message}\n{details}"
+        super().__init__(message)
+
+
+class MilCheckError(DiagnosticError, MilError):
+    """Static analysis rejected a MIL procedure before execution."""
+
+
+class MoaCheckError(DiagnosticError, MoaError):
+    """Static analysis rejected a Moa expression before compilation."""
+
+
+class ModelCheckError(DiagnosticError, InferenceError):
+    """Static analysis rejected a BN/DBN model before registration."""

@@ -18,7 +18,12 @@ from repro.dbn.template import DbnTemplate
 from repro.errors import SignalError
 from repro.fusion.features import FeatureSet
 
-__all__ = ["DiscretizationConfig", "hard_evidence", "soft_evidence"]
+__all__ = [
+    "DiscretizationConfig",
+    "KNOWN_FEATURES",
+    "hard_evidence",
+    "soft_evidence",
+]
 
 #: Fixed binarization thresholds for the physically calibrated streams
 #: (visual color/shape fractions, replay indicator, keyword scores).
@@ -39,6 +44,11 @@ _FIXED_THRESHOLDS = {
 #: gain, and crowd (the paper likewise tuned "appropriate thresholds" per
 #: setting).
 _ADAPTIVE_FEATURES = {f"f{i}" for i in range(2, 11)}
+
+#: Every feature stream with a defined discretization (fixed or adaptive).
+#: The :mod:`repro.check.modelcheck` linter flags evidence-node mappings to
+#: features outside this set, since they would silently binarize at 0.5.
+KNOWN_FEATURES = frozenset(_FIXED_THRESHOLDS) | frozenset(_ADAPTIVE_FEATURES)
 
 
 @dataclass(frozen=True)

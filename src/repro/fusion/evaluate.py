@@ -99,7 +99,9 @@ def extract_segments(
     return [s for s in merged if s.duration >= min_duration]
 
 
-def accumulate(posterior: np.ndarray, window_seconds: float = 3.0, step_seconds: float = 0.1) -> np.ndarray:
+def accumulate(
+    posterior: np.ndarray, window_seconds: float = 3.0, step_seconds: float = 0.1
+) -> np.ndarray:
     """Temporal accumulation of a spiky BN output (Fig. 9a post-processing).
 
     "We had to process the results obtained from BNs since the output

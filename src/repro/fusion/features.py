@@ -32,7 +32,13 @@ from repro.errors import SignalError
 from repro.synth.grandprix import SyntheticRace
 from repro.video.features import extract_visual_features
 
-__all__ = ["FeatureSet", "ALL_FEATURE_NAMES", "AUDIO_FEATURES", "VISUAL_FEATURES", "extract_feature_set"]
+__all__ = [
+    "FeatureSet",
+    "ALL_FEATURE_NAMES",
+    "AUDIO_FEATURES",
+    "VISUAL_FEATURES",
+    "extract_feature_set",
+]
 
 AUDIO_FEATURES = tuple(f"f{i}" for i in range(1, 11))
 VISUAL_FEATURES = tuple(f"f{i}" for i in range(11, 18))

@@ -10,8 +10,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.check.modelcheck import check_template
 from repro.dbn.compiled import CompiledDbn
 from repro.dbn.template import DbnTemplate
+from repro.errors import ModelCheckError
 from repro.fusion.audio_networks import AUDIO_NODE_TO_FEATURE
 from repro.fusion.av_network import av_node_to_feature
 from repro.fusion.discretize import DiscretizationConfig, hard_evidence
@@ -60,6 +62,25 @@ def prepare_race(spec: RaceSpec, **synth_kwargs) -> RaceData:
     return RaceData(race, extract_feature_set(race))
 
 
+def _lint_model(
+    template: DbnTemplate,
+    node_to_feature: dict[str, str],
+    name: str,
+    check: str = "error",
+) -> list:
+    """Run the model linter on a freshly trained template.
+
+    Returns the diagnostics; with ``check="error"`` error-severity findings
+    raise :class:`repro.errors.ModelCheckError` before the model is used.
+    """
+    if check == "off":
+        return []
+    report = check_template(template, node_to_feature=node_to_feature, source=name)
+    if check == "error":
+        report.raise_if_errors(f"fusion model {name}", ModelCheckError)
+    return list(report)
+
+
 @dataclass
 class AudioEvaluation:
     """Excited-speech detection quality on one race."""
@@ -81,6 +102,7 @@ class AudioExperiment:
         seed: int = 0,
         config: DiscretizationConfig | None = None,
         max_iterations: int = 12,
+        check: str = "error",
     ):
         self.structure = structure
         self.temporal = temporal
@@ -93,6 +115,12 @@ class AudioExperiment:
             seed=seed,
             config=config,
             max_iterations=max_iterations,
+        )
+        self.diagnostics = _lint_model(
+            self.template,
+            AUDIO_NODE_TO_FEATURE,
+            f"audio[{structure}/{temporal}]",
+            check=check,
         )
         self._engine = CompiledDbn(self.template)
 
@@ -140,6 +168,7 @@ class AvExperiment:
         seed: int = 0,
         config: DiscretizationConfig | None = None,
         max_iterations: int = 8,
+        check: str = "error",
     ):
         self.include_passing = include_passing
         self.config = config
@@ -150,6 +179,12 @@ class AvExperiment:
             seed=seed,
             config=config,
             max_iterations=max_iterations,
+        )
+        self.diagnostics = _lint_model(
+            self.template,
+            av_node_to_feature(include_passing),
+            f"av[passing={include_passing}]",
+            check=check,
         )
         self._engine = CompiledDbn(self.template)
 

@@ -74,7 +74,7 @@ class HmmModule(MonetModule):
     def __init__(self, servers: Sequence[HmmServer]):
         self._servers = {server.server_id: server for server in servers}
 
-    @command()
+    @command(args=("int", "str", "BAT[void,int]"), returns="flt")
     def hmmOneCall(self, server_id: int, model_name: str, obs: BAT) -> float:
         """Evaluate one model on one server; obs is a [void,int] symbol BAT."""
         if server_id not in self._servers:
@@ -82,7 +82,7 @@ class HmmModule(MonetModule):
         observations = [int(x) for x in obs.tails()]
         return self._servers[server_id].evaluate(model_name, observations)
 
-    @command()
+    @command(args=("BAT[void,dbl]",), returns="BAT[void,int]", varargs=True)
     def quantize(self, *feature_bats: BAT) -> BAT:
         """The Fig. 4 ``quant1``: fuse [void,dbl] feature BATs into symbols.
 

@@ -17,9 +17,10 @@ A :class:`MoaExtension` here declares:
 
 from __future__ import annotations
 
+import difflib
 from typing import Any, Callable, Sequence
 
-from repro.errors import MoaError
+from repro.errors import MoaError, MoaNameError
 from repro.monet.module import MonetModule
 
 __all__ = ["MoaExtension", "ExtensionRegistry"]
@@ -55,7 +56,10 @@ class ExtensionRegistry:
         try:
             return self._extensions[name]
         except KeyError:
-            raise MoaError(f"unknown extension {name!r}") from None
+            raise MoaNameError(
+                f"unknown extension {name!r}; available: {self.names()}",
+                suggestions=difflib.get_close_matches(name, self.names()),
+            ) from None
 
     def names(self) -> list[str]:
         return sorted(self._extensions)
@@ -66,8 +70,9 @@ class ExtensionRegistry:
     def invoke(self, extension: str, operator: str, args: Sequence[Any]) -> Any:
         table = self.get(extension).operators()
         if operator not in table:
-            raise MoaError(
+            raise MoaNameError(
                 f"extension {extension!r} has no operator {operator!r}; "
-                f"available: {sorted(table)}"
+                f"available: {sorted(table)}",
+                suggestions=difflib.get_close_matches(operator, sorted(table)),
             )
         return table[operator](*args)

@@ -18,8 +18,8 @@ friends, here spelled ``mmap``/``mselect``/``maggr``) are provided by
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
+import itertools
 from typing import Any
 
 import numpy as np
@@ -45,7 +45,7 @@ class BulkModule(MonetModule):
 
     name = "bulk"
 
-    @command()
+    @command(args=("BAT", "str", "any"), returns="BAT")
     def mselect(self, bat: BAT, op: str, value: Any) -> BAT:
         """Keep associations whose tail satisfies ``tail <op> value``."""
         if op not in _OPS_CMP:
@@ -63,7 +63,7 @@ class BulkModule(MonetModule):
         )
         return out
 
-    @command()
+    @command(args=("BAT", "str", "dbl"), returns="BAT")
     def mmap(self, bat: BAT, op: str, value: Any) -> BAT:
         """Elementwise arithmetic on the tail column (Monet ``[+]`` style)."""
         if op not in _OPS_ARITH:
@@ -76,7 +76,7 @@ class BulkModule(MonetModule):
         out.insert_bulk(bat.heads(), result.tolist())
         return out
 
-    @command()
+    @command(args=("BAT", "str"), returns="any")
     def maggr(self, bat: BAT, kind: str) -> Any:
         """Aggregate the tail column: count/sum/min/max/avg."""
         if kind == "count":
@@ -91,7 +91,7 @@ class BulkModule(MonetModule):
             return bat.avg()
         raise MoaError(f"maggr: unknown aggregate {kind!r}")
 
-    @command()
+    @command(args=("str", "BAT", "BAT"), returns="BAT")
     def msetop(self, op: str, left: BAT, right: BAT) -> BAT:
         """Head-based set combination of two BATs."""
         if op == "union":
@@ -157,14 +157,29 @@ class MoaCompiler:
     level instead.
     """
 
-    def __init__(self, kernel: MonetKernel):
+    def __init__(
+        self,
+        kernel: MonetKernel,
+        extensions: Any = None,
+        check: str = "error",
+    ):
         self._kernel = kernel
         if not kernel.has_command("mselect"):
             kernel.load_module(BulkModule())
         self._counter = 0
+        self._extensions = extensions
+        self._check = check
+        #: Moa-level diagnostics collected across compilations.
+        self.diagnostics: list[Any] = []
 
     def compile(self, expr: Expr) -> MilPlan:
-        """Emit a MIL PROC computing ``expr`` and register it on the kernel."""
+        """Emit a MIL PROC computing ``expr`` and register it on the kernel.
+
+        Before rewriting, the expression is statically validated by
+        :mod:`repro.check.moacheck` (free variables are allowed — they
+        become the plan's input BATs).
+        """
+        self._precheck(expr)
         inputs: list[str] = []
         body_lines: list[str] = []
         temp_counter = [0]
@@ -175,14 +190,22 @@ class MoaCompiler:
                     if name not in inputs:
                         inputs.append(name)
                     return name
-                case Select(var=var, pred=Cmp(op=op, left=Var(name=lv), right=Const(value=value)), source=source) if lv == var:
+                case Select(
+                    var=var,
+                    pred=Cmp(op=op, left=Var(name=lv), right=Const(value=value)),
+                    source=source,
+                ) if lv == var:
                     src = emit(source)
                     tmp = _fresh(temp_counter)
                     body_lines.append(
                         f"VAR {tmp} := mselect({src}, {_quote(op)}, {_literal(value)});"
                     )
                     return tmp
-                case Map(var=var, body=Arith(op=op, left=Var(name=lv), right=Const(value=value)), source=source) if lv == var:
+                case Map(
+                    var=var,
+                    body=Arith(op=op, left=Var(name=lv), right=Const(value=value)),
+                    source=source,
+                ) if lv == var:
                     src = emit(source)
                     tmp = _fresh(temp_counter)
                     body_lines.append(
@@ -221,6 +244,20 @@ class MoaCompiler:
         )
         self._kernel.run(source)
         return MilPlan(proc_name, source, tuple(inputs))
+
+    def _precheck(self, expr: Expr) -> None:
+        if self._check == "off":
+            return
+        # imported lazily: repro.check.moacheck imports repro.moa.algebra
+        from repro.check.moacheck import MoaChecker
+        from repro.errors import MoaCheckError
+
+        report = MoaChecker(self._extensions, allow_free_vars=True).check(
+            expr, source="<moa-plan>"
+        )
+        self.diagnostics.extend(report)
+        if self._check == "error":
+            report.raise_if_errors("Moa plan", MoaCheckError)
 
     def execute(self, plan: MilPlan, **inputs: BAT) -> Any:
         """Run a compiled plan with the named input BATs."""

@@ -11,10 +11,10 @@ import math
 from typing import Any, Callable, Sequence
 
 from repro.errors import MonetError
-from repro.monet.atoms import ATOMS, Atom
+from repro.monet.atoms import ATOMS
 from repro.monet.bat import BAT
 from repro.monet.mil import MilInterpreter
-from repro.monet.module import MonetModule
+from repro.monet.module import CommandSignature, MonetModule
 from repro.monet.parallel import ParallelExecutor
 
 __all__ = ["MonetKernel"]
@@ -31,18 +31,26 @@ class MonetKernel:
         result = kernel.call("hmmP", bats)  # invoke one
 
     Named BATs are persisted in the catalog and visible to MIL by name.
+
+    ``check`` sets the strictness of the static analyzer that runs on every
+    ``PROC`` definition: ``"error"`` (default) rejects procedures with
+    error-severity findings, ``"warn"`` only collects diagnostics, and
+    ``"off"`` disables analysis.
     """
 
-    def __init__(self, threads: int = 2):
+    def __init__(self, threads: int = 2, check: str = "error"):
         self._catalog: dict[str, BAT] = {}
         self._modules: dict[str, MonetModule] = {}
         self._executor = ParallelExecutor(threads=threads)
         self._commands: dict[str, Callable[..., Any]] = {}
+        self._signatures: dict[str, CommandSignature] = {}
         self._install_builtins()
         self._mil = MilInterpreter(
             commands=self._commands,
             globals_scope=_CatalogView(self._catalog),
             run_parallel=self._executor.run,
+            signatures=self._signatures,
+            check=check,
         )
 
     # ------------------------------------------------------------------
@@ -85,16 +93,31 @@ class MonetKernel:
                     f"with an existing command"
                 )
             self._commands[name] = fn
+        self._signatures.update(module.signatures())
         self._modules[module.name] = module
 
-    def register_command(self, name: str, fn: Callable[..., Any]) -> None:
+    def register_command(
+        self,
+        name: str,
+        fn: Callable[..., Any],
+        signature: CommandSignature | None = None,
+    ) -> None:
         """Register a single ad-hoc command (bypassing the module system)."""
         if name in self._commands:
             raise MonetError(f"command {name!r} already registered")
         self._commands[name] = fn
+        if signature is not None:
+            self._signatures[name] = signature
 
     def has_command(self, name: str) -> bool:
         return name in self._commands
+
+    def command_names(self) -> list[str]:
+        return sorted(self._commands)
+
+    def command_signatures(self) -> dict[str, CommandSignature]:
+        """Declared MIL signatures, keyed by command name."""
+        return dict(self._signatures)
 
     def module_names(self) -> list[str]:
         return sorted(self._modules)
@@ -112,6 +135,15 @@ class MonetKernel:
 
     def procedures(self) -> list[str]:
         return sorted(self._mil.procedures)
+
+    @property
+    def interpreter(self) -> MilInterpreter:
+        return self._mil
+
+    @property
+    def diagnostics(self) -> list[Any]:
+        """Static-analysis findings collected across PROC definitions."""
+        return list(self._mil.diagnostics)
 
     def parallel(self, thunks: Sequence[Callable[[], Any]]) -> list[Any]:
         """Run Python thunks on the kernel pool (used by extensions)."""
@@ -145,6 +177,26 @@ class MonetKernel:
                 "persist": self.persist,
             }
         )
+        self._signatures.update(
+            {
+                "threadcnt": CommandSignature("threadcnt", ("int",), "int"),
+                "print": CommandSignature("print", ("any",), "any", varargs=True),
+                "abs": CommandSignature("abs", ("dbl",), "dbl"),
+                "sqrt": CommandSignature("sqrt", ("dbl",), "dbl"),
+                "log": CommandSignature("log", ("dbl",), "dbl"),
+                "exp": CommandSignature("exp", ("dbl",), "dbl"),
+                "floor": CommandSignature("floor", ("dbl",), "int"),
+                "ceil": CommandSignature("ceil", ("dbl",), "int"),
+                "min2": CommandSignature("min2", ("any", "any"), "any"),
+                "max2": CommandSignature("max2", ("any", "any"), "any"),
+                "int": CommandSignature("int", ("any",), "int"),
+                "flt": CommandSignature("flt", ("any",), "dbl"),
+                "str": CommandSignature("str", ("any",), "str"),
+                "len": CommandSignature("len", ("any",), "int"),
+                "bat": CommandSignature("bat", ("str",), "BAT"),
+                "persist": CommandSignature("persist", ("str", "BAT"), "BAT"),
+            }
+        )
 
 
 class _CatalogView(dict):
@@ -165,6 +217,14 @@ class _CatalogView(dict):
         if super().__contains__(key):
             return super().__getitem__(key)
         return self._bat_catalog[key]
+
+    def __iter__(self):
+        # Iteration exposes catalog names too, so the static checker can
+        # treat persisted BATs as known globals.
+        yield from super().__iter__()
+        for key in self._bat_catalog:
+            if not super().__contains__(key):
+                yield key
 
 
 def _mil_print(*args: Any) -> None:

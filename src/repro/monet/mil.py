@@ -21,8 +21,8 @@ in the kernel commands (Python callables registered by MEL-style modules).
 
 from __future__ import annotations
 
-import re
 from dataclasses import dataclass, field
+import re
 from typing import Any, Callable, Sequence
 
 from repro.errors import MilNameError, MilSyntaxError, MilTypeError
@@ -97,17 +97,20 @@ def tokenize(source: str) -> list[Token]:
 @dataclass
 class Literal:
     value: Any
+    line: int | None = None
 
 
 @dataclass
 class Name:
     ident: str
+    line: int | None = None
 
 
 @dataclass
 class Call:
     func: str
     args: list[Any]
+    line: int | None = None
 
 
 @dataclass
@@ -115,6 +118,7 @@ class MethodCall:
     target: Any
     method: str
     args: list[Any]
+    line: int | None = None
 
 
 @dataclass
@@ -122,34 +126,40 @@ class BinOp:
     op: str
     left: Any
     right: Any
+    line: int | None = None
 
 
 @dataclass
 class UnaryOp:
     op: str
     operand: Any
+    line: int | None = None
 
 
 @dataclass
 class VarDecl:
     ident: str
     value: Any | None
+    line: int | None = None
 
 
 @dataclass
 class Assign:
     ident: str
     value: Any
+    line: int | None = None
 
 
 @dataclass
 class ExprStmt:
     expr: Any
+    line: int | None = None
 
 
 @dataclass
 class Return:
     expr: Any | None
+    line: int | None = None
 
 
 @dataclass
@@ -157,17 +167,20 @@ class If:
     cond: Any
     then: list[Any]
     orelse: list[Any]
+    line: int | None = None
 
 
 @dataclass
 class While:
     cond: Any
     body: list[Any]
+    line: int | None = None
 
 
 @dataclass
 class Parallel:
     body: list[Any]
+    line: int | None = None
 
 
 @dataclass
@@ -182,6 +195,7 @@ class ProcDef:
     params: list[Param]
     return_type: str | None
     body: list[Any]
+    line: int | None = None
 
 
 @dataclass
@@ -248,30 +262,30 @@ class _Parser:
             self._next()
             if self._peek().kind == ";":
                 self._next()
-                return Return(None)
+                return Return(None, line=token.line)
             expr = self.parse_expression()
             self._expect(";")
-            return Return(expr)
+            return Return(expr, line=token.line)
         if token.kind == "IF":
             return self._parse_if()
         if token.kind == "WHILE":
             return self._parse_while()
         if token.kind == "PARALLEL":
             self._next()
-            return Parallel(self._parse_block())
+            return Parallel(self._parse_block(), line=token.line)
         # assignment vs expression statement: lookahead for `name :=`
         if token.kind == "name" and self._tokens[self._pos + 1].kind == ":=":
             ident = self._next().text
             self._next()  # :=
             expr = self.parse_expression()
             self._expect(";")
-            return Assign(ident, expr)
+            return Assign(ident, expr, line=token.line)
         expr = self.parse_expression()
         self._expect(";")
-        return ExprStmt(expr)
+        return ExprStmt(expr, line=token.line)
 
     def _parse_proc(self) -> ProcDef:
-        self._expect("PROC")
+        keyword = self._expect("PROC")
         name = self._expect("name").text
         self._expect("(")
         params: list[Param] = []
@@ -286,7 +300,7 @@ class _Parser:
             return_type = self._parse_type_name()
         self._expect(":=")
         body = self._parse_block()
-        return ProcDef(name, params, return_type, body)
+        return ProcDef(name, params, return_type, body, line=keyword.line)
 
     def _parse_param(self) -> Param:
         type_name = self._parse_type_name()
@@ -305,7 +319,7 @@ class _Parser:
         return type_name
 
     def _parse_var(self) -> VarDecl:
-        self._expect("VAR")
+        keyword = self._expect("VAR")
         ident = self._expect("name").text
         # Optional type annotation: VAR x : str := ...
         if self._accept(":"):
@@ -314,10 +328,10 @@ class _Parser:
         if self._accept(":="):
             value = self.parse_expression()
         self._expect(";")
-        return VarDecl(ident, value)
+        return VarDecl(ident, value, line=keyword.line)
 
     def _parse_if(self) -> If:
-        self._expect("IF")
+        keyword = self._expect("IF")
         self._expect("(")
         cond = self.parse_expression()
         self._expect(")")
@@ -328,14 +342,14 @@ class _Parser:
                 orelse = [self._parse_if()]
             else:
                 orelse = self._parse_block()
-        return If(cond, then, orelse)
+        return If(cond, then, orelse, line=keyword.line)
 
     def _parse_while(self) -> While:
-        self._expect("WHILE")
+        keyword = self._expect("WHILE")
         self._expect("(")
         cond = self.parse_expression()
         self._expect(")")
-        return While(cond, self._parse_block())
+        return While(cond, self._parse_block(), line=keyword.line)
 
     def _parse_block(self) -> list[Any]:
         self._expect("{")
@@ -396,12 +410,13 @@ class _Parser:
         expr = self._parse_primary()
         while True:
             if self._accept("."):
-                method = self._expect("name").text
+                method_token = self._expect("name")
+                method = method_token.text
                 if self._accept("("):
                     args = self._parse_args()
-                    expr = MethodCall(expr, method, args)
+                    expr = MethodCall(expr, method, args, line=method_token.line)
                 else:
-                    expr = MethodCall(expr, method, [])
+                    expr = MethodCall(expr, method, [], line=method_token.line)
             else:
                 return expr
 
@@ -430,8 +445,8 @@ class _Parser:
         if token.kind == "name":
             if self._accept("("):
                 args = self._parse_args()
-                return Call(token.text, args)
-            return Name(token.text)
+                return Call(token.text, args, line=token.line)
+            return Name(token.text, line=token.line)
         if token.kind == "(":
             expr = self.parse_expression()
             self._expect(")")
@@ -498,11 +513,20 @@ class MilInterpreter:
         commands: dict[str, Callable[..., Any]],
         globals_scope: dict[str, Any],
         run_parallel: Callable[[Sequence[Callable[[], Any]]], list[Any]],
+        signatures: dict[str, Any] | None = None,
+        check: str = "error",
     ):
         self._commands = commands
         self._globals = _Scope(globals_scope)
         self._procs: dict[str, MilProcedure] = {}
         self._run_parallel = run_parallel
+        self._signatures = signatures if signatures is not None else {}
+        self._check = check
+        #: Procs of the program currently being run (forward references are
+        #: visible to the static checker before their ProcDef executes).
+        self._pending_procs: dict[str, ProcDef] = {}
+        #: Every diagnostic collected by define_proc, in order.
+        self.diagnostics: list[Any] = []
 
     @property
     def procedures(self) -> dict[str, MilProcedure]:
@@ -512,7 +536,50 @@ class MilInterpreter:
     def run(self, source: str) -> Any:
         """Execute MIL source at global scope; returns the last RETURN or
         expression-statement value."""
-        return self._exec_block(parse(source), self._globals, toplevel=True)
+        statements = parse(source)
+        outer_pending = self._pending_procs
+        self._pending_procs = {
+            **outer_pending,
+            **{s.name: s for s in statements if isinstance(s, ProcDef)},
+        }
+        try:
+            return self._exec_block(statements, self._globals, toplevel=True)
+        finally:
+            self._pending_procs = outer_pending
+
+    def define_proc(
+        self, definition: "ProcDef | MilProcedure", source: str | None = None
+    ) -> MilProcedure:
+        """Register a PROC, statically checking it first.
+
+        With ``check="error"`` (the default) error-severity findings raise
+        :class:`repro.errors.MilCheckError` and the procedure is NOT
+        registered; ``check="warn"`` collects diagnostics without raising;
+        ``check="off"`` skips analysis. All findings land in
+        ``self.diagnostics``.
+        """
+        if isinstance(definition, MilProcedure):
+            definition = definition.definition
+        if self._check != "off":
+            # imported lazily: repro.check.milcheck imports this module
+            from repro.check.milcheck import MilChecker
+            from repro.errors import MilCheckError
+
+            checker = MilChecker(
+                commands=self._commands,
+                signatures=self._signatures,
+                globals_names=list(self._globals.variables),
+                procedures={**self._procs, **self._pending_procs},
+            )
+            report = checker.check_proc(definition, source=source)
+            self.diagnostics.extend(report)
+            if self._check == "error":
+                report.raise_if_errors(
+                    f"PROC {definition.name}", MilCheckError
+                )
+        proc = MilProcedure(definition)
+        self._procs[definition.name] = proc
+        return proc
 
     def call(self, proc_name: str, args: Sequence[Any]) -> Any:
         """Invoke a previously defined PROC with Python-value arguments."""
@@ -530,7 +597,7 @@ class MilInterpreter:
         for statement in statements:
             match statement:
                 case ProcDef():
-                    self._procs[statement.name] = MilProcedure(statement)
+                    self.define_proc(statement)
                 case VarDecl(ident=ident, value=value):
                     scope.declare(
                         ident, None if value is None else self._eval(value, scope)

@@ -6,27 +6,85 @@ commands (and optionally new atom types) that a kernel loads, after which
 the commands are callable from MIL by name. The paper's four Moa extensions
 (video processing, HMM, DBN, rules) each install one such module at the
 physical level.
+
+Commands may declare a :class:`CommandSignature` — MIL-level argument and
+return types — which the :mod:`repro.check` static analyzer uses to verify
+kernel calls inside ``PROC`` bodies *before* they run::
+
+    class HmmModule(MonetModule):
+        name = "hmm"
+
+        @command(args=("int", "str", "BAT[void,int]"), returns="flt")
+        def hmmOneCall(self, server_id, model_name, obs):
+            ...
+
+Type names are MIL atom names (``int``, ``flt``, ``dbl``, ``str``, ``bit``),
+``BAT`` / ``BAT[head,tail]`` for tables, or ``any`` for unchecked slots.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
 
 from repro.errors import MonetError
 from repro.monet.atoms import Atom
 
-__all__ = ["MonetModule", "command"]
+__all__ = ["CommandSignature", "MonetModule", "command"]
 
 
-def command(name: str | None = None) -> Callable:
+@dataclass(frozen=True)
+class CommandSignature:
+    """Declared MIL-level type signature of a kernel command.
+
+    Attributes:
+        name: MIL command name.
+        args: argument type names, in order. With ``varargs`` set, the last
+            entry repeats zero or more times.
+        returns: return type name (``"any"`` when undeclared).
+        varargs: whether the command accepts a variable argument tail.
+        module: owning module name (for error messages).
+    """
+
+    name: str
+    args: tuple[str, ...] = ()
+    returns: str = "any"
+    varargs: bool = False
+    module: str | None = None
+
+    @property
+    def min_args(self) -> int:
+        return len(self.args) - 1 if self.varargs else len(self.args)
+
+    def describe(self) -> str:
+        rendered = list(self.args)
+        if self.varargs and rendered:
+            rendered[-1] = rendered[-1] + "..."
+        return f"{self.name}({', '.join(rendered)}) : {self.returns}"
+
+
+def command(
+    name: str | None = None,
+    args: Sequence[str] | None = None,
+    returns: str = "any",
+    varargs: bool = False,
+) -> Callable:
     """Decorator marking a :class:`MonetModule` method as a MIL command.
 
     Args:
         name: MIL-level command name; defaults to the method name.
+        args: declared MIL argument types (enables static arity/type checks).
+        returns: declared MIL return type.
+        varargs: whether the final declared argument type repeats.
     """
 
     def mark(fn: Callable) -> Callable:
-        fn._mil_command = name or fn.__name__  # type: ignore[attr-defined]
+        command_name = name or fn.__name__
+        fn._mil_command = command_name  # type: ignore[attr-defined]
+        if args is not None:
+            fn._mil_signature = CommandSignature(  # type: ignore[attr-defined]
+                command_name, tuple(args), returns, varargs
+            )
         return fn
 
     return mark
@@ -68,4 +126,22 @@ class MonetModule:
                         f"module {self.name!r} defines command {mil_name!r} twice"
                     )
                 found[mil_name] = attr
+        return found
+
+    def signatures(self) -> dict[str, CommandSignature]:
+        """Collect the declared signatures of this instance's commands."""
+        found: dict[str, CommandSignature] = {}
+        for attr_name in dir(self):
+            if attr_name.startswith("_"):
+                continue
+            attr = getattr(self, attr_name)
+            signature = getattr(attr, "_mil_signature", None)
+            if signature is not None:
+                found[signature.name] = CommandSignature(
+                    signature.name,
+                    signature.args,
+                    signature.returns,
+                    signature.varargs,
+                    module=self.name,
+                )
         return found

@@ -9,8 +9,8 @@ results in submission order and re-raises the first worker error.
 
 from __future__ import annotations
 
-import threading
 from concurrent.futures import ThreadPoolExecutor
+import threading
 from typing import Any, Callable, Sequence
 
 from repro.errors import MonetError

@@ -9,14 +9,11 @@ English-query front-end.
 
 from __future__ import annotations
 
-from typing import Any
-
 import numpy as np
 
 from repro.cobra.catalog import DomainKnowledge, ExtractionMethod
 from repro.cobra.model import FeatureTrack, RawVideo, VideoDocument, VideoObject
 from repro.cobra.vdbms import CobraVDBMS, QueryResult
-from repro.dbn.template import DbnTemplate
 from repro.errors import CobraError
 from repro.fusion.audio_networks import AUDIO_NODE_TO_FEATURE
 from repro.fusion.av_network import av_node_to_feature
@@ -25,9 +22,9 @@ from repro.fusion.evaluate import extract_segments
 from repro.fusion.features import FeatureSet
 from repro.fusion.pipeline import RaceData
 from repro.fusion.train import train_audio_network, train_av_network
+from repro.synth.annotations import Interval
 from repro.text.pipeline import extract_overlays
 from repro.text.recognition import DRIVER_NAMES
-from repro.synth.annotations import Interval
 
 __all__ = ["FormulaOneSystem", "DOMAIN_NAME"]
 

@@ -9,8 +9,8 @@ without re-touching the video.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
+import itertools
 from typing import Any, Callable, Iterable, Mapping
 
 from repro.errors import RuleError

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import SignalError
-from repro.text.patterns import GLYPH_HEIGHT, GLYPH_WIDTH, render_text
+from repro.text.patterns import render_text
 from repro.text.refinement import MAGNIFICATION, binarize, magnify, min_intensity_filter
 from repro.text.segmentation import WordRegion, group_words, segment_characters
 

@@ -24,7 +24,9 @@ from repro.errors import SignalError
 __all__ = ["DveDetector", "ReplaySegmenter", "wipe_band_score"]
 
 
-def wipe_band_score(previous: np.ndarray, current: np.ndarray, n_bands: int = 16) -> tuple[float, float]:
+def wipe_band_score(
+    previous: np.ndarray, current: np.ndarray, n_bands: int = 16
+) -> tuple[float, float]:
     """Score how wipe-like one frame transition is.
 
     Returns:

@@ -1,11 +1,10 @@
 """Audio substrate: framing, features, endpoint detection, keyword spotting."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
-from repro.errors import SignalError
 from repro.audio.endpoint import EndpointConfig, detect_speech
 from repro.audio.excitement import extract_excitement_features
 from repro.audio.features import (
@@ -27,6 +26,7 @@ from repro.audio.keywords import (
     keyword_stream,
 )
 from repro.audio.signal import AudioSignal, clip_statistics, window_function
+from repro.errors import SignalError
 
 FS = 16000
 
@@ -221,7 +221,9 @@ class TestKeywords:
         clean_found = {h.word for h in spotter.spot(lattice_clean)} & set(planted)
         assert len(tv_found) >= len(clean_found)
         tv_scores = [h.normalized_score for h in spotter.spot(lattice_tv) if h.word in planted]
-        clean_scores = [h.normalized_score for h in spotter.spot(lattice_clean) if h.word in planted]
+        clean_scores = [
+            h.normalized_score for h in spotter.spot(lattice_clean) if h.word in planted
+        ]
         if tv_scores and clean_scores:
             assert np.mean(tv_scores) > np.mean(clean_scores)
 

@@ -1,22 +1,22 @@
 """Bayesian networks: factors, DAG, VE inference, MLE and EM learning."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
-from repro.errors import (
-    CpdError,
-    GraphStructureError,
-    InferenceError,
-    LearningError,
-)
 from repro.bayes.cpd import TabularCpd
 from repro.bayes.factor import Factor
 from repro.bayes.graph import Dag
 from repro.bayes.inference import VariableElimination, min_fill_order
 from repro.bayes.learn import ExpectationMaximization, mle
 from repro.bayes.network import BayesianNetwork
+from repro.errors import (
+    CpdError,
+    GraphStructureError,
+    InferenceError,
+    LearningError,
+)
 
 
 def sprinkler() -> BayesianNetwork:

@@ -4,17 +4,17 @@ events."""
 import numpy as np
 import pytest
 
-from repro.errors import (
-    CobraError,
-    QuerySyntaxError,
-    UnknownConceptError,
-)
 from repro.cobra.catalog import DomainKnowledge, ExtractionMethod, KnowledgeCatalog
 from repro.cobra.compound import Component, CompoundEventDef, TemporalConstraint
 from repro.cobra.metadata import MetadataStore
 from repro.cobra.model import FeatureTrack, RawVideo, VideoDocument, VideoObject
 from repro.cobra.preprocessor import QueryPreprocessor
-from repro.cobra.query import CoqlQuery, QueryExecutor, parse_coql
+from repro.cobra.query import QueryExecutor, parse_coql
+from repro.errors import (
+    CobraError,
+    QuerySyntaxError,
+    UnknownConceptError,
+)
 from repro.monet.kernel import MonetKernel
 from repro.synth.annotations import Interval
 

@@ -4,7 +4,6 @@ clustering, EM learning, sampling."""
 import numpy as np
 import pytest
 
-from repro.errors import CpdError, GraphStructureError, InferenceError, LearningError
 from repro.bayes.inference import VariableElimination
 from repro.dbn.compiled import CompiledDbn, project_onto_clusters
 from repro.dbn.evidence import EvidenceSequence
@@ -12,6 +11,7 @@ from repro.dbn.learn import dbn_em
 from repro.dbn.simulate import sample_sequence
 from repro.dbn.template import DbnTemplate, at_slice, prev
 from repro.dbn.unroll import unroll
+from repro.errors import CpdError, GraphStructureError, InferenceError, LearningError
 
 
 def two_chain(seed: int = 42) -> DbnTemplate:

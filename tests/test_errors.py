@@ -15,6 +15,7 @@ ALL_ERRORS = [
     errors.MilTypeError,
     errors.MoaError,
     errors.MoaTypeError,
+    errors.MoaNameError,
     errors.CobraError,
     errors.QuerySyntaxError,
     errors.UnknownConceptError,
@@ -26,6 +27,10 @@ ALL_ERRORS = [
     errors.SignalError,
     errors.SynthesisError,
     errors.RuleError,
+    errors.DiagnosticError,
+    errors.MilCheckError,
+    errors.MoaCheckError,
+    errors.ModelCheckError,
 ]
 
 
@@ -38,6 +43,19 @@ def test_mil_syntax_error_carries_line():
     error = errors.MilSyntaxError("bad token", line=7)
     assert error.line == 7
     assert "line 7" in str(error)
+
+
+def test_check_errors_sit_in_both_hierarchies():
+    assert issubclass(errors.MilCheckError, errors.MilError)
+    assert issubclass(errors.MoaCheckError, errors.MoaError)
+    assert issubclass(errors.ModelCheckError, errors.InferenceError)
+
+
+def test_moa_name_error_renders_suggestions():
+    error = errors.MoaNameError("unknown operator 'infre'", ["infer"])
+    assert error.suggestions == ["infer"]
+    assert "did you mean" in str(error)
+    assert "'infer'" in str(error)
 
 
 def test_kernel_errors_catchable_at_boundary():

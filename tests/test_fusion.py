@@ -4,8 +4,8 @@ and the integrated pipelines (session-scoped mini race)."""
 import numpy as np
 import pytest
 
-from repro.errors import GraphStructureError
 from repro.dbn.compiled import CompiledDbn
+from repro.errors import GraphStructureError
 from repro.fusion.audio_networks import (
     AUDIO_EVIDENCE,
     add_temporal_edges,
@@ -21,7 +21,7 @@ from repro.fusion.evaluate import (
     extract_segments,
     segment_precision_recall,
 )
-from repro.fusion.features import ALL_FEATURE_NAMES, extract_feature_set
+from repro.fusion.features import ALL_FEATURE_NAMES
 from repro.fusion.pipeline import AudioExperiment, AvExperiment
 from repro.fusion.train import annotation_tracks, positive_initialization, transfer_parameters
 from repro.synth.annotations import Interval

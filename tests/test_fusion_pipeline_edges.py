@@ -4,11 +4,10 @@ import numpy as np
 import pytest
 
 from repro.errors import SignalError
-from repro.fusion.discretize import DiscretizationConfig, hard_evidence, soft_evidence
-from repro.fusion.features import FeatureSet
 from repro.fusion.audio_networks import AUDIO_NODE_TO_FEATURE, audio_structure
+from repro.fusion.discretize import DiscretizationConfig, hard_evidence, soft_evidence
 from repro.fusion.evaluate import extract_segments
-from repro.synth.annotations import Interval
+from repro.fusion.features import FeatureSet
 
 
 def synthetic_feature_set(n=200, seed=0) -> FeatureSet:

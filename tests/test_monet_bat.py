@@ -1,9 +1,9 @@
 """BAT core semantics."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.errors import AtomTypeError, BatError
 from repro.monet.bat import BAT, new_bat
@@ -224,7 +224,11 @@ def test_property_select_range_equals_python_filter(values):
 
 
 @settings(max_examples=50, deadline=None)
-@given(st.lists(st.floats(allow_nan=False, allow_infinity=False, width=32), min_size=1, max_size=40))
+@given(
+    st.lists(
+        st.floats(allow_nan=False, allow_infinity=False, width=32), min_size=1, max_size=40
+    )
+)
 def test_property_reverse_is_involution(values):
     b = BAT("void", "dbl")
     b.insert_bulk(None, values)

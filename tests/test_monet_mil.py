@@ -183,7 +183,7 @@ class TestParallel:
             """
         )
         # the final RETURN ran after the barrier
-        bat = kernel.run("VAR x := 0; RETURN x;")  # separate run ok
+        kernel.run("VAR x := 0; RETURN x;")  # separate run ok
         # re-run to fetch the catalog-less local: use a PROC instead
         kernel.run(
             """

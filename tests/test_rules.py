@@ -1,8 +1,8 @@
 """Rule engine + Allen interval algebra."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import pytest
 
 from repro.errors import RuleError
 from repro.rules.engine import Fact, Pattern, Rule, RuleEngine, Var

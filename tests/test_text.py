@@ -1,10 +1,10 @@
 """Text substrate: font, detection, refinement, segmentation, recognition,
 overlay semantics, and the full pipeline."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.errors import SignalError
 from repro.text.detection import TextDetector, TextDetectorConfig, shaded_region

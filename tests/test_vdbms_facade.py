@@ -3,14 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.errors import CobraError
-from repro.cobra.catalog import DomainKnowledge
 from repro.cobra.extensions import DbnExtension, DbnModule, RuleExtension
 from repro.cobra.model import RawVideo, VideoDocument
 from repro.cobra.vdbms import CobraVDBMS
 from repro.dbn.evidence import EvidenceSequence
 from repro.dbn.simulate import sample_sequence
 from repro.dbn.template import DbnTemplate
+from repro.errors import CobraError
 from repro.monet.bat import BAT
 from repro.monet.kernel import MonetKernel
 from repro.rules.engine import Fact, Pattern, Rule
@@ -104,7 +103,6 @@ class TestDbnExtension:
         assert np.allclose(result.tail_array(), python_posterior, atol=1e-12)
 
     def test_dbn_infer_rejects_multi_evidence(self):
-        kernel = MonetKernel()
         module = DbnModule()
         t = DbnTemplate()
         t.add_node("H", 2)
