@@ -6,16 +6,33 @@ resolve the query. If metadata is not available it invokes feature/semantic
 extraction engines to extract it dynamically. ... Depending on the
 (un)availability of metadata ... as well as the cost and quality models of
 the method, it makes a decision which method and feature set to use."
+
+Extraction is the least reliable stage of the pipeline — it runs arbitrary
+detector code against broadcast material — so every dynamic extraction is
+executed under the resilience policy: retried on transient faults, guarded
+by a per-method circuit breaker, and (when a kernel is attached) persisted
+inside a catalog transaction so a failure cannot leave half-written event
+BATs behind. In ``degrade`` mode a kind whose extraction keeps failing is
+dropped from the query instead of aborting it, and the drop is recorded on
+the :class:`PreprocessReport`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.cobra.catalog import DomainKnowledge, ExtractionMethod
 from repro.cobra.metadata import MetadataStore
 from repro.cobra.query import CoqlQuery
-from repro.errors import ExtractionError, UnknownConceptError
+from repro.errors import (
+    ExtractionError,
+    TransientError,
+    TransientExtractionError,
+    UnknownConceptError,
+)
+from repro.faults import resolve_injector
+from repro.resilience import CircuitBreaker, Deadline, FailureReport, ResiliencePolicy
 
 __all__ = ["PreprocessReport", "QueryPreprocessor"]
 
@@ -27,18 +44,45 @@ class PreprocessReport:
     required_kinds: list[str]
     available: list[str] = field(default_factory=list)
     extracted: list[tuple[str, str]] = field(default_factory=list)  # (kind, method)
+    #: Event kinds the query gave up on, as ``(kind, reason)`` pairs.
+    dropped: list[tuple[str, str]] = field(default_factory=list)
+    #: Structured records of every fault handled along the way.
+    failures: list[FailureReport] = field(default_factory=list)
 
     @property
     def ran_extraction(self) -> bool:
         return bool(self.extracted)
 
+    @property
+    def degraded(self) -> bool:
+        """True when the answer comes from less metadata than requested."""
+        return bool(self.dropped)
+
 
 class QueryPreprocessor:
-    """Metadata-availability analysis + dynamic extraction dispatch."""
+    """Metadata-availability analysis + dynamic extraction dispatch.
 
-    def __init__(self, metadata: MetadataStore, knowledge: DomainKnowledge):
+    ``breakers`` may be shared by the owning VDBMS so a method's failure
+    history survives across queries; ``kernel`` (when given) provides the
+    transactional catalog used to roll back failed extractions.
+    """
+
+    def __init__(
+        self,
+        metadata: MetadataStore,
+        knowledge: DomainKnowledge,
+        *,
+        kernel: Any = None,
+        resilience: ResiliencePolicy | None = None,
+        faults: Any = None,
+        breakers: dict[str, CircuitBreaker] | None = None,
+    ):
         self._metadata = metadata
         self._knowledge = knowledge
+        self._kernel = kernel
+        self._resilience = resilience or ResiliencePolicy()
+        self._faults = resolve_injector(faults)
+        self._breakers = breakers if breakers is not None else {}
 
     def required_kinds(self, query: CoqlQuery) -> list[str]:
         """Event kinds the query touches (target + temporal joins)."""
@@ -50,13 +94,17 @@ class QueryPreprocessor:
                     kinds.append(other)
         return kinds
 
-    def prepare(self, query: CoqlQuery) -> PreprocessReport:
+    def prepare(
+        self, query: CoqlQuery, deadline: Deadline | None = None
+    ) -> PreprocessReport:
         """Ensure all metadata a query needs exists, extracting on demand.
 
         For every required kind and every target video: if events of the
         kind are absent, pick the best applicable extraction method
         (highest quality, then lowest cost, feature prerequisites
-        satisfied) and run it, persisting the produced events.
+        satisfied) and run it, persisting the produced events. Under a
+        ``degrade`` policy a kind whose extraction fails is dropped (and
+        reported) instead of aborting the whole query.
         """
         report = PreprocessReport(self.required_kinds(query))
         videos = (
@@ -64,6 +112,8 @@ class QueryPreprocessor:
         )
         for kind in report.required_kinds:
             for video_id in videos:
+                if deadline is not None:
+                    deadline.check(f"preprocess:{kind}")
                 if self._metadata.has_events(video_id, kind):
                     if kind not in report.available:
                         report.available.append(kind)
@@ -74,8 +124,23 @@ class QueryPreprocessor:
                         f"no stored events of kind {kind!r} for video "
                         f"{video_id!r} and no extraction method can produce it"
                     )
-                self._run_method(method, video_id)
-                report.extracted.append((kind, method.name))
+                try:
+                    self._run_method(method, video_id, report, deadline)
+                except Exception as exc:  # noqa: BLE001 - policy decides
+                    if not self._resilience.degrade:
+                        raise
+                    reason = f"{type(exc).__name__}: {exc}"
+                    report.dropped.append((kind, reason))
+                    report.failures.append(
+                        FailureReport.from_exception(
+                            f"extractor:{method.name}",
+                            exc,
+                            action="dropped",
+                            detail=f"kind {kind!r} on video {video_id!r}",
+                        )
+                    )
+                else:
+                    report.extracted.append((kind, method.name))
         return report
 
     # ------------------------------------------------------------------
@@ -86,14 +151,79 @@ class QueryPreprocessor:
                 return method
         return None
 
-    def _run_method(self, method: ExtractionMethod, video_id: str) -> None:
+    def _breaker_for(self, method: ExtractionMethod) -> CircuitBreaker:
+        breaker = self._breakers.get(method.name)
+        if breaker is None:
+            breaker = self._resilience.new_breaker(f"extractor:{method.name}")
+            self._breakers[method.name] = breaker
+        return breaker
+
+    def _run_method(
+        self,
+        method: ExtractionMethod,
+        video_id: str,
+        report: PreprocessReport,
+        deadline: Deadline | None = None,
+    ) -> None:
+        site = f"extractor:{method.name}"
+        breaker = self._breaker_for(method)
+
+        def attempt() -> list:
+            breaker.allow()
+            try:
+                self._faults.on_call(site)
+                events = method.extract(document)
+            except TransientError as exc:
+                breaker.record_failure()
+                raise TransientExtractionError(
+                    f"extraction method {method.name!r} hit a transient fault "
+                    f"on {video_id!r}: {exc}"
+                ) from exc
+            except Exception as exc:  # noqa: BLE001 - boundary translation
+                breaker.record_failure()
+                raise ExtractionError(
+                    f"extraction method {method.name!r} failed on {video_id!r}: {exc}"
+                ) from exc
+            breaker.record_success()
+            return list(events)
+
+        def on_retry(attempts: int, exc: BaseException) -> None:
+            report.failures.append(
+                FailureReport.from_exception(
+                    site, exc, action="retried", attempts=attempts
+                )
+            )
+
         document = self._metadata.document(video_id)
+        events = self._resilience.retry.call(
+            attempt, site=site, deadline=deadline, on_retry=on_retry
+        )
+        self._store_events(video_id, document, events)
+
+    def _store_events(self, video_id: str, document: Any, events: list) -> None:
+        """Persist extracted events; atomic when a kernel is attached.
+
+        The kernel transaction rolls back the event BATs; the in-memory
+        ``document.events`` additions are undone alongside so both views of
+        the metadata stay consistent after a failed run.
+        """
+        added: list[str] = []
         try:
-            events = method.extract(document)
-        except Exception as exc:  # noqa: BLE001 - boundary translation
-            raise ExtractionError(
-                f"extraction method {method.name!r} failed on {video_id!r}: {exc}"
-            ) from exc
+            if self._kernel is not None:
+                with self._kernel.transaction():
+                    self._persist(video_id, document, events, added)
+            else:
+                self._persist(video_id, document, events, added)
+        except Exception:
+            for event_id in added:
+                document.events.pop(event_id, None)
+            raise
+
+    def _persist(
+        self, video_id: str, document: Any, events: list, added: list[str]
+    ) -> None:
         for event in events:
+            if event.event_id not in document.events:
+                added.append(event.event_id)
             document.events[event.event_id] = event
             self._metadata.store_event(video_id, event)

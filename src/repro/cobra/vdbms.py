@@ -8,7 +8,7 @@ store and the extensions' MEL modules.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.cobra.catalog import DomainKnowledge, KnowledgeCatalog
@@ -22,11 +22,18 @@ from repro.cobra.metadata import MetadataStore
 from repro.cobra.model import VideoDocument
 from repro.cobra.preprocessor import PreprocessReport, QueryPreprocessor
 from repro.cobra.query import CoqlQuery, QueryExecutor, parse_coql
-from repro.errors import CobraError
+from repro.errors import CobraError, UnknownConceptError
+from repro.faults import resolve_injector
 from repro.hmm.parallel import HmmExtension
 from repro.moa.extension import ExtensionRegistry
 from repro.moa.rewrite import MoaCompiler
 from repro.monet.kernel import MonetKernel
+from repro.resilience import (
+    CircuitBreaker,
+    Deadline,
+    FailureReport,
+    ResiliencePolicy,
+)
 
 __all__ = ["QueryResult", "CobraVDBMS"]
 
@@ -38,12 +45,28 @@ class QueryResult:
     query: CoqlQuery
     records: list[dict[str, Any]]
     report: PreprocessReport
+    #: Faults handled while answering (retries, drops, rollbacks) across
+    #: all three levels — kernel command failures included.
+    failures: list[FailureReport] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.records)
 
     def intervals(self) -> list:
         return [r["interval"] for r in self.records]
+
+    @property
+    def degraded(self) -> bool:
+        """True when the answer was computed from less than was asked."""
+        return self.report.degraded
+
+    def degradations(self) -> list[str]:
+        """Human-readable list of everything dropped or recovered from."""
+        notes = [
+            f"dropped kind {kind!r}: {reason}" for kind, reason in self.report.dropped
+        ]
+        notes.extend(str(f) for f in self.failures)
+        return notes
 
 
 class CobraVDBMS:
@@ -57,16 +80,32 @@ class CobraVDBMS:
         result = db.query('RETRIEVE fly_out WHERE ROLE driver = HAKKINEN')
     """
 
-    def __init__(self, threads: int = 4, check: str = "error"):
-        self.kernel = MonetKernel(threads=threads, check=check)
+    def __init__(
+        self,
+        threads: int = 4,
+        check: str = "error",
+        faults: Any = None,
+        resilience: ResiliencePolicy | None = None,
+    ):
+        self.faults = resolve_injector(faults)
+        self.resilience = resilience or ResiliencePolicy()
+        self.kernel = MonetKernel(
+            threads=threads,
+            check=check,
+            faults=self.faults,
+            resilience=self.resilience,
+        )
         self.metadata = MetadataStore(self.kernel)
-        self.extensions = ExtensionRegistry()
+        self.extensions = ExtensionRegistry(faults=self.faults)
         self.compiler = MoaCompiler(
             self.kernel, extensions=self.extensions, check=check
         )
         self.catalog = KnowledgeCatalog()
         self._domain_of_video: dict[str, str] = {}
         self._compound_defs: dict[str, CompoundEventDef] = {}
+        #: Per-extraction-method circuit breakers, persisted across queries
+        #: so a flapping extractor's failure history is not forgotten.
+        self._breakers: dict[str, CircuitBreaker] = {}
 
         # the four extensions of §3
         self.videoproc = VideoProcessingExtension()
@@ -104,13 +143,31 @@ class CobraVDBMS:
     # querying
     # ------------------------------------------------------------------
     def query(self, coql: str | CoqlQuery) -> QueryResult:
-        """Parse, preprocess (extracting missing metadata), and execute."""
-        parsed = parse_coql(coql) if isinstance(coql, str) else coql
-        report = self._preprocess(parsed)
-        records = QueryExecutor(self.metadata).execute(parsed)
-        return QueryResult(parsed, records, report)
+        """Parse, preprocess (extracting missing metadata), and execute.
 
-    def _preprocess(self, query: CoqlQuery) -> PreprocessReport:
+        The whole round runs under the policy's query budget; faults the
+        layers recovered from (kernel retries, dropped extraction kinds,
+        rollbacks) are gathered on ``QueryResult.failures``.
+        """
+        parsed = parse_coql(coql) if isinstance(coql, str) else coql
+        self.kernel.drain_failures()  # don't attribute stale faults here
+        deadline = self.resilience.query_deadline()
+        report = self._preprocess(parsed, deadline)
+        try:
+            records = QueryExecutor(self.metadata).execute(parsed)
+        except UnknownConceptError:
+            # A kind whose extraction was dropped under the degrade policy
+            # may be entirely absent from the store: answer empty rather
+            # than failing a query we deliberately kept alive.
+            if not any(kind == parsed.kind for kind, _ in report.dropped):
+                raise
+            records = []
+        failures = list(report.failures) + self.kernel.drain_failures()
+        return QueryResult(parsed, records, report, failures=failures)
+
+    def _preprocess(
+        self, query: CoqlQuery, deadline: Deadline | None = None
+    ) -> PreprocessReport:
         if query.video is not None:
             domains = [self._domain_of(query.video)]
         else:
@@ -118,9 +175,14 @@ class CobraVDBMS:
         report: PreprocessReport | None = None
         for domain in domains:
             preprocessor = QueryPreprocessor(
-                self.metadata, self.catalog.domain(domain)
+                self.metadata,
+                self.catalog.domain(domain),
+                kernel=self.kernel,
+                resilience=self.resilience,
+                faults=self.faults,
+                breakers=self._breakers,
             )
-            report = preprocessor.prepare(query)
+            report = preprocessor.prepare(query, deadline)
         if report is None:
             raise CobraError("no videos registered")
         return report

@@ -27,6 +27,11 @@ class EvidenceSequence:
         hard: {node: int array of shape (T,)} — hard states.
         soft: {node: float array of shape (T, cardinality)} — per-step
             likelihood vectors (need not normalize; all-ones = no evidence).
+        masked: names of observed nodes whose evidence is *absent* (their
+            modality failed to extract); they must appear in ``soft`` with
+            uninformative all-ones likelihoods. Purely an availability
+            annotation — inference already treats all-ones as "no
+            evidence" — carried so results can report what was missing.
 
     Every observed node of the template must appear in exactly one of the
     two mappings, and all sequences must share the same length T.
@@ -37,9 +42,15 @@ class EvidenceSequence:
         template: DbnTemplate,
         hard: Mapping[str, Sequence[int] | np.ndarray] | None = None,
         soft: Mapping[str, np.ndarray] | None = None,
+        masked: Sequence[str] = (),
     ):
         hard = dict(hard or {})
         soft = dict(soft or {})
+        self.masked: tuple[str, ...] = tuple(masked)
+        if bad := set(self.masked) - set(soft):
+            raise InferenceError(
+                f"masked nodes must carry all-ones soft evidence: {sorted(bad)}"
+            )
         observed = set(template.observed_nodes())
         given = set(hard) | set(soft)
         if set(hard) & set(soft):
@@ -125,6 +136,7 @@ class EvidenceSequence:
             self._template,
             {n: v[start:stop] for n, v in self._hard.items()},
             {n: v[start:stop] for n, v in self._soft.items()},
+            masked=self.masked,
         )
 
     def segments(self, segment_length: int) -> list["EvidenceSequence"]:

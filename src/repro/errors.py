@@ -13,15 +13,93 @@ class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` package."""
 
 
+class TransientError(ReproError):
+    """A fault where retrying the same operation may well succeed.
+
+    Retry policies (:class:`repro.resilience.RetryPolicy`) only ever retry
+    errors in this branch of the hierarchy; everything else is assumed to be
+    deterministic and fails fast.
+    """
+
+
+class PermanentError(ReproError):
+    """A deterministic fault retrying cannot fix (bad input/plan/model)."""
+
+
+def is_transient(error: BaseException) -> bool:
+    """Whether a retry of the failing operation could plausibly succeed."""
+    return isinstance(error, TransientError)
+
+
+def annotate(error: BaseException, note: str) -> BaseException:
+    """Attach origin context to an exception without changing its type.
+
+    Uses PEP 678 notes on Python >= 3.11; on 3.10 the note is folded into
+    the message when the args are a plain one-string tuple, and always kept
+    on ``error.context_notes`` for programmatic access.
+    """
+    notes = getattr(error, "context_notes", [])
+    error.context_notes = [*notes, note]
+    if hasattr(error, "add_note"):
+        error.add_note(note)
+    elif len(error.args) == 1 and isinstance(error.args[0], str):
+        error.args = (f"{error.args[0]}\n  {note}",)
+    return error
+
+
+class DeadlineExceeded(ReproError):
+    """A per-call or per-query monotonic-clock budget expired.
+
+    Deliberately neither transient nor permanent: retrying under the same
+    exhausted budget cannot help, so retry policies never retry it, but the
+    operation itself may succeed under a fresh deadline.
+    """
+
+    def __init__(self, message: str, site: str | None = None):
+        self.site = site
+        if site is not None:
+            message = f"{message} (at {site})"
+        super().__init__(message)
+
+
+class CircuitOpenError(TransientError):
+    """A circuit breaker is open and the call was rejected without running.
+
+    Transient — the breaker may close after its recovery timeout — but
+    retry policies treat it as non-retryable by default so an open circuit
+    keeps failing fast instead of being hammered.
+    """
+
+    def __init__(self, message: str, retry_after: float | None = None):
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class InjectedFault(ReproError):
+    """Base class for faults raised by :mod:`repro.faults` injection."""
+
+    def __init__(self, message: str, site: str | None = None):
+        self.site = site
+        super().__init__(message)
+
+
+class InjectedTransientError(InjectedFault, TransientError):
+    """An injected fault that models a recoverable glitch."""
+
+
+class InjectedPermanentError(InjectedFault, PermanentError):
+    """An injected fault that models a hard, deterministic failure."""
+
+
 class MonetError(ReproError):
     """Error raised by the Monet-style binary-relational kernel."""
 
 
-class AtomTypeError(MonetError):
+class AtomTypeError(MonetError, PermanentError):
     """A value does not conform to the declared atom type of a column."""
 
 
-class BatError(MonetError):
+class BatError(MonetError, PermanentError):
     """Structural misuse of a BAT (arity, alignment, missing key)."""
 
 
@@ -29,7 +107,7 @@ class MilError(MonetError):
     """Base error for the MIL interpreter."""
 
 
-class MilSyntaxError(MilError):
+class MilSyntaxError(MilError, PermanentError):
     """The MIL source text could not be parsed."""
 
     def __init__(self, message: str, line: int | None = None):
@@ -39,11 +117,11 @@ class MilSyntaxError(MilError):
         super().__init__(message)
 
 
-class MilNameError(MilError):
+class MilNameError(MilError, PermanentError):
     """Reference to an unknown MIL variable, procedure, or command."""
 
 
-class MilTypeError(MilError):
+class MilTypeError(MilError, PermanentError):
     """A MIL operation was applied to operands of the wrong type."""
 
 
@@ -51,11 +129,11 @@ class MoaError(ReproError):
     """Error in the Moa object algebra layer."""
 
 
-class MoaTypeError(MoaError):
+class MoaTypeError(MoaError, PermanentError):
     """A Moa expression does not type-check against its structures."""
 
 
-class MoaNameError(MoaError):
+class MoaNameError(MoaError, PermanentError):
     """Reference to an unknown Moa extension or extension operator.
 
     Carries ``suggestions`` — close-matching known names — so callers can
@@ -74,31 +152,40 @@ class CobraError(ReproError):
     """Error at the conceptual (Cobra VDBMS) level."""
 
 
-class QuerySyntaxError(CobraError):
+class QuerySyntaxError(CobraError, PermanentError):
     """A COQL query string could not be parsed."""
 
 
-class UnknownConceptError(CobraError):
+class UnknownConceptError(CobraError, PermanentError):
     """A query references an object/event concept the catalog does not know."""
 
 
 class ExtractionError(CobraError):
-    """A dynamic feature/semantic extraction invocation failed."""
+    """A dynamic feature/semantic extraction invocation failed.
+
+    Transiency depends on the cause, so this base commits to neither; use
+    :class:`TransientExtractionError` when the underlying failure was
+    transient (the preprocessor re-wraps accordingly).
+    """
+
+
+class TransientExtractionError(ExtractionError, TransientError):
+    """An extraction failure whose underlying cause was transient."""
 
 
 class InferenceError(ReproError):
     """Error inside a probabilistic engine (BN, DBN, or HMM)."""
 
 
-class GraphStructureError(InferenceError):
+class GraphStructureError(InferenceError, PermanentError):
     """A network definition is not a DAG or references unknown nodes."""
 
 
-class CpdError(InferenceError):
+class CpdError(InferenceError, PermanentError):
     """A conditional probability table is malformed or unnormalized."""
 
 
-class LearningError(InferenceError):
+class LearningError(InferenceError, PermanentError):
     """Parameter learning failed (empty data, dimension mismatch, ...)."""
 
 
@@ -114,7 +201,7 @@ class RuleError(ReproError):
     """Error in the rule-based inference extension."""
 
 
-class DiagnosticError(ReproError):
+class DiagnosticError(PermanentError):
     """A static checker found error-severity diagnostics.
 
     The offending :class:`repro.check.Diagnostic` objects ride along on

@@ -1,0 +1,34 @@
+"""Deterministic fault injection for chaos-testing the VDBMS stack.
+
+The package separates the *plan* (data: seeded :class:`FaultPlan` /
+:class:`FaultSpec`) from the *runtime* (:class:`FaultInjector`, consulted
+at opt-in hook points in synthesis, extraction, the kernel command path,
+and the Moa extension call path). ``python -m repro.faults <plan>``
+replays a named plan against a synthetic race and prints the degradation
+summary.
+"""
+
+from repro.faults.injector import FaultInjector, Injection
+from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultSpec
+from repro.faults.plans import (
+    NAMED_PLANS,
+    get_plan,
+    global_injector,
+    install_global,
+    plan_names,
+    resolve_injector,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
+    "Injection",
+    "NAMED_PLANS",
+    "get_plan",
+    "plan_names",
+    "global_injector",
+    "install_global",
+    "resolve_injector",
+]

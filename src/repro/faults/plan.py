@@ -1,0 +1,127 @@
+"""Deterministic, seedable fault plans.
+
+A :class:`FaultPlan` is data, not behaviour: a seed plus a list of
+:class:`FaultSpec` site patterns. Whether a given invocation of a given
+site triggers a fault is a pure function of (plan seed, spec index, site
+name, per-site invocation counter), so a chaos test that replays a plan
+sees byte-identical fault schedules — chaos as reproducible unit tests,
+not flakiness.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["FaultSpec", "FaultPlan", "FAULT_KINDS"]
+
+#: What an injected fault does at its hook point.
+#:
+#: * ``fail``    — raise an Injected(Transient|Permanent)Error,
+#: * ``delay``   — sleep ``delay`` seconds before the call proceeds,
+#: * ``drop``    — remove the data item (stream / frame / overlay) entirely,
+#: * ``corrupt`` — damage the data in a kind-appropriate way (audio
+#:   dropouts, frozen frames, garbled overlay text, noisy streams).
+FAULT_KINDS = ("fail", "delay", "drop", "corrupt")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault rule: which sites, what happens, how often.
+
+    Attributes:
+        site: ``fnmatch``-style pattern over site names, e.g.
+            ``"kernel.command:*"``, ``"extractor:flyout*"``,
+            ``"synth.audio"``, ``"extract.stream:f1?"``.
+        kind: one of :data:`FAULT_KINDS`.
+        rate: per-invocation trigger probability in [0, 1].
+        transient: for ``kind="fail"`` — raise a transient (retryable) or
+            permanent injected error.
+        delay: seconds slept for ``kind="delay"``.
+        severity: corruption strength in [0, 1] for ``kind="corrupt"``
+            (fraction of samples dropped out / frames frozen / characters
+            garbled / noise amplitude).
+        max_triggers: cap on how many times this spec may fire (``None`` =
+            unlimited).
+        message: override for the injected error message.
+    """
+
+    site: str
+    kind: str = "fail"
+    rate: float = 1.0
+    transient: bool = True
+    delay: float = 0.0
+    severity: float = 0.5
+    max_triggers: int | None = None
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.site:
+            raise ReproError("fault spec needs a non-empty site pattern")
+        if self.kind not in FAULT_KINDS:
+            raise ReproError(
+                f"fault kind must be one of {FAULT_KINDS}, got {self.kind!r}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ReproError(f"rate must be in [0, 1], got {self.rate}")
+        if not 0.0 <= self.severity <= 1.0:
+            raise ReproError(f"severity must be in [0, 1], got {self.severity}")
+        if self.delay < 0:
+            raise ReproError(f"delay must be >= 0, got {self.delay}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded collection of fault specs.
+
+    The plan is inert until handed to a
+    :class:`repro.faults.injector.FaultInjector`.
+    """
+
+    seed: int = 0
+    specs: tuple[FaultSpec, ...] = ()
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def rng_for(self, spec_index: int, site: str, invocation: int) -> np.random.Generator:
+        """The deterministic generator deciding one (spec, site, call)."""
+        return np.random.default_rng(
+            [self.seed, spec_index, zlib.crc32(site.encode("utf-8")), invocation]
+        )
+
+    def triggers(self, spec_index: int, site: str, invocation: int) -> bool:
+        """Whether spec #``spec_index`` fires at this invocation of ``site``."""
+        spec = self.specs[spec_index]
+        if spec.rate >= 1.0:
+            return True
+        if spec.rate <= 0.0:
+            return False
+        return bool(
+            self.rng_for(spec_index, site, invocation).random() < spec.rate
+        )
+
+    def describe(self) -> str:
+        lines = [f"FaultPlan {self.name or '<unnamed>'} (seed={self.seed})"]
+        for spec in self.specs:
+            extra = {
+                "fail": f"transient={spec.transient}",
+                "delay": f"delay={spec.delay}s",
+                "drop": "",
+                "corrupt": f"severity={spec.severity}",
+            }[spec.kind]
+            cap = f" max={spec.max_triggers}" if spec.max_triggers else ""
+            lines.append(
+                f"  {spec.site}: {spec.kind} @ rate {spec.rate:g}"
+                + (f" ({extra})" if extra else "")
+                + cap
+            )
+        return "\n".join(lines)

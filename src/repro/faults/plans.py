@@ -1,0 +1,140 @@
+"""Named fault plans and the env-var-driven global injector.
+
+The CI ``chaos`` job sets ``REPRO_FAULT_PLAN=<name>`` to enable a low-rate
+global plan for every hook point that was not given an explicit injector;
+``python -m repro.faults <name>`` replays a plan against a synthetic race.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import ReproError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, FaultSpec
+
+__all__ = [
+    "NAMED_PLANS",
+    "get_plan",
+    "plan_names",
+    "global_injector",
+    "install_global",
+    "resolve_injector",
+]
+
+#: Environment variable naming the plan behind :func:`global_injector`.
+ENV_VAR = "REPRO_FAULT_PLAN"
+
+NAMED_PLANS: dict[str, FaultPlan] = {
+    # Non-failing background noise for running tolerant suites under chaos:
+    # mild stream corruption plus sub-millisecond kernel delays. Nothing
+    # raises, so strict pipelines still complete.
+    "ci-low-rate": FaultPlan(
+        seed=2002,
+        name="ci-low-rate",
+        specs=(
+            FaultSpec(site="extract.stream:f*", kind="corrupt", rate=0.02, severity=0.1),
+            FaultSpec(site="kernel.command:*", kind="delay", rate=0.005, delay=0.001),
+        ),
+    ),
+    # The acceptance scenario of ISSUE 2: one full modality gone plus 5 %
+    # transient kernel-command failures.
+    "modality-drop": FaultPlan(
+        seed=55,
+        name="modality-drop",
+        specs=(
+            FaultSpec(site="extract.visual", kind="fail", rate=1.0, transient=False),
+            FaultSpec(site="kernel.command:*", kind="fail", rate=0.05, transient=True),
+        ),
+    ),
+    # Transient kernel glitches only — exercised against retry policies.
+    "kernel-transient": FaultPlan(
+        seed=7,
+        name="kernel-transient",
+        specs=(
+            FaultSpec(site="kernel.command:*", kind="fail", rate=0.05, transient=True),
+        ),
+    ),
+    # The full broadcast-from-hell: audio dropouts, frame loss, garbled
+    # chyrons, stream corruption, transient kernel/extractor failures.
+    "chaos": FaultPlan(
+        seed=1999,
+        name="chaos",
+        specs=(
+            FaultSpec(site="synth.audio", kind="corrupt", rate=1.0, severity=0.05),
+            FaultSpec(site="synth.video", kind="corrupt", rate=1.0, severity=0.03),
+            FaultSpec(site="synth.text", kind="corrupt", rate=0.3, severity=0.4),
+            FaultSpec(site="extract.stream:f*", kind="corrupt", rate=0.05, severity=0.2),
+            FaultSpec(site="extract.stream:f1", kind="drop", rate=1.0, max_triggers=1),
+            FaultSpec(site="kernel.command:*", kind="fail", rate=0.05, transient=True),
+            FaultSpec(site="extractor:*", kind="fail", rate=0.2, transient=True),
+            FaultSpec(site="moa.invoke:*", kind="delay", rate=0.05, delay=0.002),
+        ),
+    ),
+}
+
+
+def plan_names() -> list[str]:
+    return sorted(NAMED_PLANS)
+
+
+def get_plan(name: str) -> FaultPlan:
+    try:
+        return NAMED_PLANS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown fault plan {name!r}; known plans: {plan_names()}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# global injector
+# ---------------------------------------------------------------------------
+
+_NULL_INJECTOR = FaultInjector.disabled()
+#: The installed global injector, or None when the env var decides lazily.
+_GLOBAL: FaultInjector | None = None
+_GLOBAL_FROM_ENV: str | None = None
+
+
+def install_global(injector: "FaultInjector | FaultPlan | None") -> FaultInjector:
+    """Install (or clear, with ``None``) the process-wide injector.
+
+    Passing ``None`` reverts to the ``REPRO_FAULT_PLAN`` env-var behaviour.
+    """
+    global _GLOBAL, _GLOBAL_FROM_ENV
+    if injector is None:
+        _GLOBAL = None
+        _GLOBAL_FROM_ENV = None
+        return _NULL_INJECTOR
+    if isinstance(injector, FaultPlan):
+        injector = FaultInjector(injector)
+    _GLOBAL = injector
+    _GLOBAL_FROM_ENV = None
+    return injector
+
+
+def global_injector() -> FaultInjector:
+    """The process-wide injector consulted when no explicit one is given.
+
+    Explicitly installed injectors win; otherwise ``REPRO_FAULT_PLAN``
+    names a plan from :data:`NAMED_PLANS` (re-read when the variable
+    changes, so tests can monkeypatch it). Disabled by default.
+    """
+    global _GLOBAL, _GLOBAL_FROM_ENV
+    env = os.environ.get(ENV_VAR) or None
+    if _GLOBAL is not None and _GLOBAL_FROM_ENV is None:
+        return _GLOBAL
+    if env != _GLOBAL_FROM_ENV:
+        _GLOBAL = FaultInjector(get_plan(env)) if env else None
+        _GLOBAL_FROM_ENV = env
+    return _GLOBAL if _GLOBAL is not None else _NULL_INJECTOR
+
+
+def resolve_injector(injector: "FaultInjector | FaultPlan | None") -> FaultInjector:
+    """Normalize a hook-point argument: explicit wins, else the global one."""
+    if injector is None:
+        return global_injector()
+    if isinstance(injector, FaultPlan):
+        return FaultInjector(injector)
+    return injector

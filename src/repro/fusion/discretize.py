@@ -90,6 +90,7 @@ def hard_evidence(
     node_to_feature: dict[str, str],
     config: DiscretizationConfig | None = None,
     extra_hard: dict[str, np.ndarray] | None = None,
+    allow_missing: bool = False,
 ) -> EvidenceSequence:
     """Thresholded evidence for every observed node of a template.
 
@@ -100,10 +101,15 @@ def hard_evidence(
         config: thresholds.
         extra_hard: pre-discretized sequences for observed nodes NOT driven
             by feature streams (e.g. a labelled query node during training).
+        allow_missing: when a mapped feature stream is absent (its modality
+            was dropped), enter the node as uninformative all-ones soft
+            evidence and record it on ``EvidenceSequence.masked`` instead
+            of raising — the graceful-degradation path.
     """
     config = config or DiscretizationConfig()
     extra = dict(extra_hard or {})
     hard: dict[str, np.ndarray] = {}
+    masked: list[str] = []
     lengths = [features.n_steps] + [v.shape[0] for v in extra.values()]
     n = min(lengths)
     for node in template.observed_nodes():
@@ -113,10 +119,23 @@ def hard_evidence(
         if node not in node_to_feature:
             raise SignalError(f"no feature mapped to observed node {node!r}")
         feature = node_to_feature[node]
+        if feature not in features.streams:
+            if not allow_missing:
+                reason = features.dropped.get(feature, "not extracted")
+                raise SignalError(
+                    f"feature {feature!r} for observed node {node!r} is "
+                    f"unavailable ({reason}); pass allow_missing=True to "
+                    f"mask it and answer from the surviving modalities"
+                )
+            masked.append(node)
+            continue
         full = features.stream(feature)
         cut = config.cut(feature, full)
         hard[node] = (full[:n] >= cut).astype(np.int64)
-    return EvidenceSequence(template, hard=hard)
+    soft = {
+        node: np.ones((n, template.cardinality(node))) for node in masked
+    }
+    return EvidenceSequence(template, hard=hard, soft=soft, masked=masked)
 
 
 def soft_evidence(
@@ -124,23 +143,39 @@ def soft_evidence(
     features: FeatureSet,
     node_to_feature: dict[str, str],
     config: DiscretizationConfig | None = None,
+    allow_missing: bool = False,
 ) -> EvidenceSequence:
     """Virtual-evidence sequences: likelihood [1 - v, v] per step.
 
     This is the direct use of the paper's probabilistic feature values:
     a feature at 0.8 pushes the evidence node toward its active state with
-    weight 0.8 without hard-committing.
+    weight 0.8 without hard-committing. With ``allow_missing=True`` nodes
+    whose feature stream was dropped enter as all-ones likelihoods and are
+    listed on ``EvidenceSequence.masked``.
     """
     config = config or DiscretizationConfig()
     soft: dict[str, np.ndarray] = {}
+    masked: list[str] = []
     n = features.n_steps
     for node in template.observed_nodes():
         if node not in node_to_feature:
             raise SignalError(f"no feature mapped to observed node {node!r}")
-        values = np.clip(features.stream(node_to_feature[node])[:n], 0.0, 1.0)
+        feature = node_to_feature[node]
+        if feature not in features.streams:
+            if not allow_missing:
+                reason = features.dropped.get(feature, "not extracted")
+                raise SignalError(
+                    f"feature {feature!r} for observed node {node!r} is "
+                    f"unavailable ({reason}); pass allow_missing=True to "
+                    f"mask it and answer from the surviving modalities"
+                )
+            masked.append(node)
+            soft[node] = np.ones((n, template.cardinality(node)))
+            continue
+        values = np.clip(features.stream(feature)[:n], 0.0, 1.0)
         likelihood = np.stack([1.0 - values, values], axis=1)
         if config.gamma != 1.0:
             likelihood = likelihood**config.gamma
             likelihood /= likelihood.sum(axis=1, keepdims=True)
         soft[node] = likelihood
-    return EvidenceSequence(template, soft=soft)
+    return EvidenceSequence(template, soft=soft, masked=masked)

@@ -12,6 +12,13 @@ dust (f15), sand (f16), and motion (f17)."
 zero to one. Since the parameters are calculated for each 0.1 s, the length
 of feature vectors is ten times longer than the duration of the video
 measured in seconds."
+
+Extraction is also where whole modalities die on real material — a muted
+audio track, an undecodable video stream. ``extract_feature_set`` therefore
+runs each modality chain under a fault hook and, in ``degrade`` mode,
+records what was lost on the returned :class:`FeatureSet` instead of
+aborting: downstream fusion masks the missing evidence nodes and answers
+from the surviving modalities.
 """
 
 from __future__ import annotations
@@ -29,6 +36,8 @@ from repro.audio.keywords import (
     keyword_stream,
 )
 from repro.errors import SignalError
+from repro.faults import resolve_injector
+from repro.resilience import FailureReport
 from repro.synth.grandprix import SyntheticRace
 from repro.video.features import extract_visual_features
 
@@ -37,12 +46,24 @@ __all__ = [
     "ALL_FEATURE_NAMES",
     "AUDIO_FEATURES",
     "VISUAL_FEATURES",
+    "MODALITY_OF_FEATURE",
     "extract_feature_set",
 ]
 
 AUDIO_FEATURES = tuple(f"f{i}" for i in range(1, 11))
 VISUAL_FEATURES = tuple(f"f{i}" for i in range(11, 18))
 ALL_FEATURE_NAMES = AUDIO_FEATURES + VISUAL_FEATURES
+
+#: Which acquisition chain produces each stream — f1 rides the audio track
+#: but is a *text* modality (keyword spotting), f2-f10 are the excited-speech
+#: block, f11-f17 (plus the auxiliary passing/dve streams) are visual.
+MODALITY_OF_FEATURE: dict[str, str] = {
+    "f1": "text",
+    **{f"f{i}": "audio" for i in range(2, 11)},
+    **{f"f{i}": "visual" for i in range(11, 18)},
+    "passing": "visual",
+    "dve": "visual",
+}
 
 
 @dataclass
@@ -53,18 +74,39 @@ class FeatureSet:
         race_name: source race.
         streams: "f1".."f17" (plus auxiliary "passing", "dve") -> (n,).
         keyword_hits: the raw keyword-spotter output (f1's source).
+        dropped: stream name -> reason, for streams that could not be
+            extracted (modality failure or injected loss).
+        failures: structured records of the faults behind the drops.
     """
 
     race_name: str
     streams: dict[str, np.ndarray]
     keyword_hits: list[KeywordHit] = field(default_factory=list)
+    dropped: dict[str, str] = field(default_factory=dict)
+    failures: list[FailureReport] = field(default_factory=list)
 
     @property
     def n_steps(self) -> int:
         return next(iter(self.streams.values())).shape[0]
 
+    @property
+    def degraded(self) -> bool:
+        return bool(self.dropped)
+
+    def missing_modalities(self) -> list[str]:
+        """Modalities with no surviving stream at all."""
+        alive = {MODALITY_OF_FEATURE.get(name) for name in self.streams}
+        lost = {
+            MODALITY_OF_FEATURE.get(name, "unknown") for name in self.dropped
+        }
+        return sorted(lost - alive)
+
     def stream(self, name: str) -> np.ndarray:
         if name not in self.streams:
+            if name in self.dropped:
+                raise SignalError(
+                    f"feature stream {name!r} was dropped: {self.dropped[name]}"
+                )
             raise SignalError(f"no feature stream {name!r}")
         return self.streams[name]
 
@@ -77,30 +119,103 @@ def extract_feature_set(
     acoustic_model: AcousticModel = TV_NEWS_MODEL,
     spotter: KeywordSpotter | None = None,
     lattice_seed: int = 17,
+    faults=None,
+    on_error: str = "raise",
 ) -> FeatureSet:
     """Run the complete §5.2-§5.4 extraction chain on one race.
 
     The audio chain (endpoint detection, excited-speech features, keyword
     spotting) and the visual chain (shot/DVE/semaphore/dust/sand/motion)
     produce streams that are truncated to a common length.
+
+    With ``on_error="degrade"`` a failing modality chain is dropped and
+    recorded on ``FeatureSet.dropped`` / ``FeatureSet.failures`` instead of
+    raising; per-stream ``drop``/``corrupt`` faults from ``faults`` (or the
+    global injector) are applied at site ``extract.stream:<name>``.
     """
+    if on_error not in ("raise", "degrade"):
+        raise SignalError(
+            f"on_error must be 'raise' or 'degrade', got {on_error!r}"
+        )
+    injector = resolve_injector(faults)
     n_target = int(race.duration * 10)
+    dropped: dict[str, str] = {}
+    failures: list[FailureReport] = []
 
-    audio_features = extract_excitement_features(race.signal)
-    visual_features = extract_visual_features(race.video)
+    def chain(site, names, fn):
+        """Run one modality chain; on degrade-mode failure drop its streams."""
+        try:
+            injector.on_call(site)
+            return fn()
+        except Exception as exc:  # noqa: BLE001 - policy decides
+            if on_error != "degrade":
+                raise
+            reason = f"{type(exc).__name__}: {exc}"
+            for name in names:
+                dropped[name] = reason
+            failures.append(
+                FailureReport.from_exception(
+                    site, exc, action="dropped", detail=f"streams {list(names)}"
+                )
+            )
+            return None
 
-    spotter = spotter or KeywordSpotter()
-    rng = np.random.default_rng(lattice_seed + race.spec.seed)
-    lattice = acoustic_model.decode(race.audio.phone_slots, rng)
-    hits = spotter.spot(lattice)
-    f1 = keyword_stream(hits, n_target)
+    def spot_keywords():
+        engine = spotter or KeywordSpotter()
+        rng = np.random.default_rng(lattice_seed + race.spec.seed)
+        lattice = acoustic_model.decode(race.audio.phone_slots, rng)
+        found = engine.spot(lattice)
+        return found, keyword_stream(found, n_target)
 
-    streams: dict[str, np.ndarray] = {"f1": f1}
-    for name, values in audio_features.streams.items():
-        streams[name] = values
-    for name, values in visual_features.streams.items():
-        streams[name] = values
+    audio_features = chain(
+        "extract.audio",
+        AUDIO_FEATURES[1:],
+        lambda: extract_excitement_features(race.signal),
+    )
+    visual_features = chain(
+        "extract.visual",
+        VISUAL_FEATURES + ("passing", "dve"),
+        lambda: extract_visual_features(race.video),
+    )
+    keywords = chain("extract.keywords", ("f1",), spot_keywords)
 
+    hits: list[KeywordHit] = []
+    streams: dict[str, np.ndarray] = {}
+    if keywords is not None:
+        hits, f1 = keywords
+        streams["f1"] = f1
+    if audio_features is not None:
+        streams.update(audio_features.streams)
+    if visual_features is not None:
+        streams.update(visual_features.streams)
+
+    # Per-stream faults: whole-stream loss and in-band corruption.
+    if injector.enabled:
+        for name in sorted(streams):
+            site = f"extract.stream:{name}"
+            if injector.should_drop(site):
+                dropped[name] = "stream dropped by fault injection"
+                failures.append(
+                    FailureReport(
+                        site=site,
+                        error="InjectedFault",
+                        message="stream dropped by fault injection",
+                        transient=False,
+                        action="dropped",
+                    )
+                )
+                del streams[name]
+                continue
+            values = streams[name]
+            corrupted = injector.corrupt_array(site, values)
+            if corrupted is not values:
+                streams[name] = np.clip(corrupted, 0.0, 1.0)
+
+    if not streams:
+        raise SignalError(
+            f"every modality of race {race.name!r} failed extraction: "
+            f"{sorted(set(dropped.values()))}"
+        )
     n = min(min(v.shape[0] for v in streams.values()), n_target)
     streams = {name: values[:n] for name, values in streams.items()}
-    return FeatureSet(race.name, streams, hits)
+    return FeatureSet(race.name, streams, hits, dropped=dropped, failures=failures)

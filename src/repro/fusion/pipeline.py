@@ -56,10 +56,17 @@ class RaceData:
         return self.race.truth
 
 
-def prepare_race(spec: RaceSpec, **synth_kwargs) -> RaceData:
-    """Synthesize one race and run the full extraction chain."""
-    race = synthesize_race(spec, **synth_kwargs)
-    return RaceData(race, extract_feature_set(race))
+def prepare_race(
+    spec: RaceSpec, faults=None, on_error: str = "raise", **synth_kwargs
+) -> RaceData:
+    """Synthesize one race and run the full extraction chain.
+
+    ``faults``/``on_error`` flow to both stages: synthesis corrupts the
+    material, extraction degrades (instead of raising) when a modality
+    chain fails under ``on_error="degrade"``.
+    """
+    race = synthesize_race(spec, faults=faults, **synth_kwargs)
+    return RaceData(race, extract_feature_set(race, faults=faults, on_error=on_error))
 
 
 def _lint_model(
@@ -89,6 +96,14 @@ class AudioEvaluation:
     scores: PrecisionRecall
     posterior: np.ndarray
     segments: list[Interval]
+    #: Observed nodes answered without evidence (their modality was lost).
+    masked_nodes: list[str] = field(default_factory=list)
+    #: Feature streams missing from the input, with reasons.
+    dropped_features: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.masked_nodes)
 
 
 class AudioExperiment:
@@ -103,10 +118,12 @@ class AudioExperiment:
         config: DiscretizationConfig | None = None,
         max_iterations: int = 12,
         check: str = "error",
+        allow_missing: bool = False,
     ):
         self.structure = structure
         self.temporal = temporal
         self.config = config
+        self.allow_missing = allow_missing
         self.template, self.em_result = train_audio_network(
             train_data.features,
             train_data.truth,
@@ -124,11 +141,18 @@ class AudioExperiment:
         )
         self._engine = CompiledDbn(self.template)
 
+    def _evidence(self, data: RaceData):
+        return hard_evidence(
+            self.template,
+            data.features,
+            AUDIO_NODE_TO_FEATURE,
+            config=self.config,
+            allow_missing=self.allow_missing,
+        )
+
     def posterior(self, data: RaceData, clusters=None) -> np.ndarray:
         """P(EA active) per 0.1 s step over a whole race."""
-        evidence = hard_evidence(
-            self.template, data.features, AUDIO_NODE_TO_FEATURE, config=self.config
-        )
+        evidence = self._evidence(data)
         if self.temporal is None:
             # Plain BN: per-step inference, then temporal accumulation
             # (Fig. 9a post-processing).
@@ -137,11 +161,25 @@ class AudioExperiment:
         return self._engine.posterior_series(evidence, "EA", clusters=clusters)[:, 1]
 
     def evaluate(self, data: RaceData, clusters=None) -> AudioEvaluation:
-        posterior = self.posterior(data, clusters=clusters)
+        evidence = self._evidence(data)
+        if self.temporal is None:
+            series = self._engine.static_posterior_series(evidence, "EA")[:, 1]
+            posterior = accumulate(series, window_seconds=1.5)
+        else:
+            posterior = self._engine.posterior_series(
+                evidence, "EA", clusters=clusters
+            )[:, 1]
         segments = extract_segments(posterior, min_duration=2.6, merge_gap=0.5)
         truth = data.truth.excited_speech
         scores = segment_precision_recall(segments, truth)
-        return AudioEvaluation(data.name, scores, posterior, segments)
+        return AudioEvaluation(
+            data.name,
+            scores,
+            posterior,
+            segments,
+            masked_nodes=list(evidence.masked),
+            dropped_features=dict(data.features.dropped),
+        )
 
 
 @dataclass
@@ -153,6 +191,26 @@ class AvEvaluation:
     event_scores: dict[str, PrecisionRecall]
     highlight_segments: list[Interval]
     posteriors: dict[str, np.ndarray] = field(repr=False, default_factory=dict)
+    #: Observed nodes answered without evidence (their modality was lost).
+    masked_nodes: list[str] = field(default_factory=list)
+    #: Feature streams missing from the input, with reasons.
+    dropped_features: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.masked_nodes)
+
+    def degradations(self) -> list[str]:
+        """Human-readable account of everything the answer went without."""
+        notes = [
+            f"dropped feature {name!r}: {reason}"
+            for name, reason in sorted(self.dropped_features.items())
+        ]
+        notes.extend(
+            f"masked evidence node {node!r} (no surviving feature)"
+            for node in self.masked_nodes
+        )
+        return notes
 
 
 class AvExperiment:
@@ -169,9 +227,11 @@ class AvExperiment:
         config: DiscretizationConfig | None = None,
         max_iterations: int = 8,
         check: str = "error",
+        allow_missing: bool = False,
     ):
         self.include_passing = include_passing
         self.config = config
+        self.allow_missing = allow_missing
         self.template, self.em_result = train_av_network(
             train_data.features,
             train_data.truth,
@@ -188,13 +248,16 @@ class AvExperiment:
         )
         self._engine = CompiledDbn(self.template)
 
-    def posteriors(self, data: RaceData) -> dict[str, np.ndarray]:
-        evidence = hard_evidence(
+    def _evidence(self, data: RaceData):
+        return hard_evidence(
             self.template,
             data.features,
             av_node_to_feature(self.include_passing),
             config=self.config,
+            allow_missing=self.allow_missing,
         )
+
+    def _posteriors_from(self, evidence) -> dict[str, np.ndarray]:
         gamma = self._engine.filter(evidence).gamma
         nodes = ["Highlight", "EA", "Start", "FlyOut"] + (
             ["Passing"] if self.include_passing else []
@@ -203,8 +266,12 @@ class AvExperiment:
             node: self._engine.marginal(gamma, node)[:, 1] for node in nodes
         }
 
+    def posteriors(self, data: RaceData) -> dict[str, np.ndarray]:
+        return self._posteriors_from(self._evidence(data))
+
     def evaluate(self, data: RaceData) -> AvEvaluation:
-        posteriors = self.posteriors(data)
+        evidence = self._evidence(data)
+        posteriors = self._posteriors_from(evidence)
         segments = extract_segments(posteriors["Highlight"])
         highlight_scores = segment_precision_recall(
             segments, data.truth.highlights
@@ -222,5 +289,11 @@ class AvExperiment:
             truth = data.truth.of_kind(kind)
             event_scores[node] = segment_precision_recall(labelled[node], truth)
         return AvEvaluation(
-            data.name, highlight_scores, event_scores, segments, posteriors
+            data.name,
+            highlight_scores,
+            event_scores,
+            segments,
+            posteriors,
+            masked_nodes=list(evidence.masked),
+            dropped_features=dict(data.features.dropped),
         )

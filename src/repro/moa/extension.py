@@ -21,6 +21,7 @@ import difflib
 from typing import Any, Callable, Sequence
 
 from repro.errors import MoaError, MoaNameError
+from repro.faults import resolve_injector
 from repro.monet.module import MonetModule
 
 __all__ = ["MoaExtension", "ExtensionRegistry"]
@@ -44,8 +45,9 @@ class MoaExtension:
 class ExtensionRegistry:
     """Holds loaded extensions and dispatches ``Apply`` invocations."""
 
-    def __init__(self) -> None:
+    def __init__(self, faults: Any = None) -> None:
         self._extensions: dict[str, MoaExtension] = {}
+        self.faults = resolve_injector(faults)
 
     def register(self, extension: MoaExtension) -> None:
         if extension.name in self._extensions:
@@ -75,4 +77,6 @@ class ExtensionRegistry:
                 f"available: {sorted(table)}",
                 suggestions=difflib.get_close_matches(operator, sorted(table)),
             )
+        if self.faults.enabled:
+            self.faults.on_call(f"moa.invoke:{extension}.{operator}")
         return table[operator](*args)

@@ -212,6 +212,27 @@ class BAT:
         out._next_oid = self._next_oid
         return out
 
+    def restore(self, snapshot: "BAT") -> "BAT":
+        """Roll this BAT back to a snapshot copy, in place.
+
+        In-place so that holders of a reference (the metadata store, MIL
+        globals) see the rollback; the kernel's catalog rollback relies on
+        this. The snapshot must have the same atom types.
+        """
+        if (snapshot.head_type, snapshot.tail_type) != (
+            self.head_type,
+            self.tail_type,
+        ):
+            raise BatError(
+                f"cannot restore BAT[{self.head_type},{self.tail_type}] from "
+                f"snapshot BAT[{snapshot.head_type},{snapshot.tail_type}]"
+            )
+        with self._lock:
+            self._head = list(snapshot._head)
+            self._tail = list(snapshot._tail)
+            self._next_oid = snapshot._next_oid
+        return self
+
     def slice(self, lo: int, hi: int) -> "BAT":
         """Positional slice [lo, hi) preserving types."""
         out = BAT(self.head_type, self.tail_type)

@@ -8,14 +8,18 @@ at the physical level" of the paper's three-level architecture.
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Sequence
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Sequence
 
-from repro.errors import MonetError
+from repro.errors import DeadlineExceeded, MonetError, annotate
+from repro.faults import FaultInjector, FaultPlan, resolve_injector
 from repro.monet.atoms import ATOMS
 from repro.monet.bat import BAT
 from repro.monet.mil import MilInterpreter
 from repro.monet.module import CommandSignature, MonetModule
 from repro.monet.parallel import ParallelExecutor
+from repro.resilience import Deadline, FailureReport, ResiliencePolicy
 
 __all__ = ["MonetKernel"]
 
@@ -36,14 +40,32 @@ class MonetKernel:
     ``PROC`` definition: ``"error"`` (default) rejects procedures with
     error-severity findings, ``"warn"`` only collects diagnostics, and
     ``"off"`` disables analysis.
+
+    ``faults`` is an opt-in :class:`repro.faults.FaultInjector` (or plan)
+    consulted before every command invocation (site
+    ``kernel.command:<name>``); ``resilience`` configures the retry policy
+    and deadlines guarding those invocations. Transient command failures are
+    retried with exponential backoff and recoveries are recorded as
+    :class:`FailureReport` entries on :attr:`failures`.
     """
 
-    def __init__(self, threads: int = 2, check: str = "error"):
+    def __init__(
+        self,
+        threads: int = 2,
+        check: str = "error",
+        faults: "FaultInjector | FaultPlan | None" = None,
+        resilience: ResiliencePolicy | None = None,
+    ):
         self._catalog: dict[str, BAT] = {}
         self._modules: dict[str, MonetModule] = {}
         self._executor = ParallelExecutor(threads=threads)
         self._commands: dict[str, Callable[..., Any]] = {}
         self._signatures: dict[str, CommandSignature] = {}
+        self.faults = resolve_injector(faults)
+        self.resilience = resilience or ResiliencePolicy()
+        #: Structured FailureReports (retries, rollbacks) in event order.
+        self.failures: list[FailureReport] = []
+        self._active_deadline: Deadline | None = None
         self._install_builtins()
         self._mil = MilInterpreter(
             commands=self._commands,
@@ -51,6 +73,8 @@ class MonetKernel:
             run_parallel=self._executor.run,
             signatures=self._signatures,
             check=check,
+            call_guard=self._guarded_command,
+            on_statement=self._deadline_tick,
         )
 
     # ------------------------------------------------------------------
@@ -75,6 +99,57 @@ class MonetKernel:
 
     def catalog_names(self) -> list[str]:
         return sorted(self._catalog)
+
+    # ------------------------------------------------------------------
+    # snapshot / rollback
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, BAT]:
+        """A deep copy of the catalog (names -> copied BATs)."""
+        return {name: bat.copy(name=name) for name, bat in self._catalog.items()}
+
+    def restore(self, snapshot: dict[str, BAT]) -> None:
+        """Roll the catalog back to a snapshot.
+
+        BATs that survive under the same name and types are restored *in
+        place*, so holders of a reference (the metadata store, MIL globals)
+        observe the rollback; BATs created after the snapshot are dropped,
+        and dropped/replaced ones are reinstated from their copies.
+        """
+        for name in list(self._catalog):
+            if name not in snapshot:
+                del self._catalog[name]
+        for name, saved in snapshot.items():
+            live = self._catalog.get(name)
+            if (
+                live is None
+                or (live.head_type, live.tail_type)
+                != (saved.head_type, saved.tail_type)
+            ):
+                self._catalog[name] = saved.copy(name=name)
+            else:
+                live.restore(saved)
+
+    @contextmanager
+    def transaction(self) -> Iterator[dict[str, BAT]]:
+        """Catalog snapshot/rollback scope.
+
+        On any exception the catalog is restored to its state at entry, so
+        a failed MIL ``PROC`` or preprocessor run cannot leave half-written
+        BATs behind; the exception then propagates, annotated.
+        """
+        saved = self.snapshot()
+        try:
+            yield saved
+        except BaseException as exc:
+            self.restore(saved)
+            self.failures.append(
+                FailureReport.from_exception(
+                    "kernel.transaction", exc, "rolled-back",
+                    detail=f"catalog restored to {len(saved)} BAT(s)",
+                )
+            )
+            annotate(exc, f"catalog rolled back to snapshot of {len(saved)} BAT(s)")
+            raise
 
     # ------------------------------------------------------------------
     # modules & commands
@@ -125,13 +200,103 @@ class MonetKernel:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def run(self, mil_source: str) -> Any:
-        """Execute MIL source at global scope."""
-        return self._mil.run(mil_source)
+    def run(
+        self,
+        mil_source: str,
+        deadline: Deadline | None = None,
+        transactional: bool = False,
+    ) -> Any:
+        """Execute MIL source at global scope.
 
-    def call(self, proc_name: str, args: Sequence[Any] = ()) -> Any:
+        ``deadline`` bounds the whole execution (checked per statement and
+        per command); ``transactional=True`` rolls the BAT catalog back if
+        the execution raises.
+        """
+        return self._execute(lambda: self._mil.run(mil_source), deadline, transactional)
+
+    def call(
+        self,
+        proc_name: str,
+        args: Sequence[Any] = (),
+        deadline: Deadline | None = None,
+        transactional: bool = False,
+    ) -> Any:
         """Invoke a MIL PROC defined earlier via :meth:`run`."""
-        return self._mil.call(proc_name, args)
+        return self._execute(
+            lambda: self._mil.call(proc_name, args), deadline, transactional
+        )
+
+    def _execute(
+        self,
+        thunk: Callable[[], Any],
+        deadline: Deadline | None,
+        transactional: bool,
+    ) -> Any:
+        previous = self._active_deadline
+        if deadline is None and previous is None:
+            if self.resilience.query_budget is not None:
+                deadline = Deadline(self.resilience.query_budget)
+        if deadline is not None:
+            self._active_deadline = deadline
+        try:
+            if transactional:
+                with self.transaction():
+                    return thunk()
+            return thunk()
+        finally:
+            self._active_deadline = previous
+
+    def drain_failures(self) -> list[FailureReport]:
+        """Return and clear the accumulated failure reports."""
+        out = self.failures
+        self.failures = []
+        return out
+
+    # ------------------------------------------------------------------
+    # resilience guards
+    # ------------------------------------------------------------------
+    def _deadline_tick(self) -> None:
+        deadline = self._active_deadline
+        if deadline is not None:
+            deadline.check("mil.statement")
+
+    def _guarded_command(
+        self, name: str, fn: Callable[..., Any], args: list[Any]
+    ) -> Any:
+        """Invoke one kernel command under fault injection + retry + deadline."""
+        site = f"kernel.command:{name}"
+        deadline = self._active_deadline
+        faults = self.faults
+        call_timeout = self.resilience.call_timeout
+
+        def attempt() -> Any:
+            faults.on_call(site)
+            if call_timeout is None:
+                return fn(*args)
+            started = time.monotonic()
+            result = fn(*args)
+            elapsed = time.monotonic() - started
+            if elapsed > call_timeout:
+                raise DeadlineExceeded(
+                    f"command ran {elapsed:.3f}s, over its {call_timeout}s "
+                    f"per-call budget",
+                    site=site,
+                )
+            return result
+
+        if not faults.enabled and deadline is None and call_timeout is None:
+            return fn(*args)  # fast path: nothing to guard
+
+        def on_retry(attempt_number: int, error: BaseException) -> None:
+            self.failures.append(
+                FailureReport.from_exception(
+                    site, error, "retried", attempts=attempt_number
+                )
+            )
+
+        return self.resilience.retry.call(
+            attempt, site=site, deadline=deadline, on_retry=on_retry
+        )
 
     def procedures(self) -> list[str]:
         return sorted(self._mil.procedures)

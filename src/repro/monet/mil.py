@@ -512,9 +512,11 @@ class MilInterpreter:
         self,
         commands: dict[str, Callable[..., Any]],
         globals_scope: dict[str, Any],
-        run_parallel: Callable[[Sequence[Callable[[], Any]]], list[Any]],
+        run_parallel: Callable[..., list[Any]],
         signatures: dict[str, Any] | None = None,
         check: str = "error",
+        call_guard: Callable[[str, Callable[..., Any], list[Any]], Any] | None = None,
+        on_statement: Callable[[], None] | None = None,
     ):
         self._commands = commands
         self._globals = _Scope(globals_scope)
@@ -522,6 +524,13 @@ class MilInterpreter:
         self._run_parallel = run_parallel
         self._signatures = signatures if signatures is not None else {}
         self._check = check
+        #: Wraps kernel-command invocations (fault injection, retry,
+        #: deadlines); default is a plain call.
+        self._call_guard = call_guard or (lambda name, fn, args: fn(*args))
+        #: Per-statement hook (the kernel's deadline tick).
+        self._on_statement = on_statement
+        #: Name of the PROC currently executing (for PARALLEL context).
+        self._current_proc: str | None = None
         #: Procs of the program currently being run (forward references are
         #: visible to the static checker before their ProcDef executes).
         self._pending_procs: dict[str, ProcDef] = {}
@@ -595,6 +604,8 @@ class MilInterpreter:
     ) -> Any:
         last: Any = None
         for statement in statements:
+            if self._on_statement is not None:
+                self._on_statement()
             match statement:
                 case ProcDef():
                     self.define_proc(statement)
@@ -631,14 +642,29 @@ class MilInterpreter:
 
         Each statement sees the enclosing scope; assignments made inside run
         under the GIL plus BAT locks, matching the Fig. 4 pattern of parallel
-        inserts into one result BAT.
+        inserts into one result BAT. Branch labels (index, MIL line, owning
+        PROC) ride along so a failing branch propagates with its origin
+        instead of a bare exception from an anonymous thread.
         """
         def make_thunk(statement: Any) -> Callable[[], Any]:
             def thunk() -> Any:
                 return self._exec_block([statement], _Scope(parent=scope))
             return thunk
 
-        self._run_parallel([make_thunk(s) for s in statements])
+        labels = [
+            self._branch_label(index, statement)
+            for index, statement in enumerate(statements)
+        ]
+        self._run_parallel([make_thunk(s) for s in statements], labels)
+
+    def _branch_label(self, index: int, statement: Any) -> str:
+        label = f"PARALLEL branch {index + 1}"
+        line = getattr(statement, "line", None)
+        if line is not None:
+            label += f" (line {line})"
+        if self._current_proc is not None:
+            label += f" of PROC {self._current_proc}"
+        return label
 
     def _call_proc(self, proc: MilProcedure, args: list[Any]) -> Any:
         definition = proc.definition
@@ -655,10 +681,14 @@ class MilInterpreter:
                     f"expects a BAT, got {type(value).__name__}"
                 )
             scope.declare(param.ident, value)
+        enclosing_proc = self._current_proc
+        self._current_proc = definition.name
         try:
             self._exec_block(definition.body, scope)
         except _ReturnSignal as signal:
             return signal.value
+        finally:
+            self._current_proc = enclosing_proc
         return None
 
     # -- expression evaluation ----------------------------------------------
@@ -705,10 +735,22 @@ class MilInterpreter:
         if func in self._procs:
             values = [self._eval(a, scope) for a in args]
             return self._call_proc(self._procs[func], values)
-        target = self._resolve(func, scope)
+        try:
+            target = scope.lookup(func)
+            guarded = False
+        except MilNameError:
+            if func not in self._commands:
+                raise MilNameError(f"unknown MIL name {func!r}") from None
+            target = self._commands[func]
+            guarded = True
         if not callable(target):
             raise MilTypeError(f"{func!r} is not callable")
         values = [self._eval(a, scope) for a in args]
+        if guarded:
+            # Kernel commands go through the guard (fault injection, retry
+            # policies, deadlines); plain callables bound to MIL variables
+            # stay direct.
+            return self._call_guard(func, target, values)
         return target(*values)
 
     def _dispatch_method(self, receiver: Any, method: str, args: list[Any]) -> Any:

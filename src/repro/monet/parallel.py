@@ -4,16 +4,19 @@ Monet exposes intra-query parallelism which the paper exploits to evaluate
 six HMMs concurrently (Fig. 3/4): MIL calls ``threadcnt(7)`` and the kernel
 fans the calls out over worker threads. :class:`ParallelExecutor` reproduces
 that contract — a resizable pool plus a barrier-style ``run`` that collects
-results in submission order and re-raises the first worker error.
+results in submission order — and adds the fault-tolerance contract: when a
+branch fails, queued branches are cancelled and the originating branch's
+context (label, proc, MIL line) rides along on the propagated exception
+instead of a bare error escaping from an anonymous thread.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import FIRST_EXCEPTION, CancelledError, ThreadPoolExecutor, wait
 import threading
 from typing import Any, Callable, Sequence
 
-from repro.errors import MonetError
+from repro.errors import MonetError, annotate
 
 __all__ = ["ParallelExecutor"]
 
@@ -45,28 +48,74 @@ class ParallelExecutor:
             self._threads = max(1, n - 1)
             return self._threads
 
-    def run(self, thunks: Sequence[Callable[[], Any]]) -> list[Any]:
+    def run(
+        self,
+        thunks: Sequence[Callable[[], Any]],
+        labels: Sequence[str] | None = None,
+    ) -> list[Any]:
         """Run thunks concurrently; returns results in submission order.
 
-        A single failing thunk cancels nothing that is already running but
-        causes the first raised exception to propagate to the caller after
-        all workers have finished, so partial results never escape silently.
+        On the first branch failure, branches that have not started yet are
+        cancelled (running branches finish — Python threads cannot be
+        preempted), and the first failing branch's exception propagates to
+        the caller annotated with its branch label and the number of
+        cancelled siblings. Partial results never escape silently.
         """
         if not thunks:
             return []
+        if labels is not None and len(labels) != len(thunks):
+            raise MonetError(
+                f"{len(labels)} labels for {len(thunks)} parallel thunks"
+            )
         with self._lock:
             workers = min(self._threads, len(thunks))
         if workers == 1:
-            return [thunk() for thunk in thunks]
+            return self._run_serial(thunks, labels)
         results: list[Any] = [None] * len(thunks)
-        errors: list[BaseException] = []
+        failures: list[tuple[int, BaseException]] = []
+        cancelled = 0
         with ThreadPoolExecutor(max_workers=workers) as pool:
             futures = [pool.submit(thunk) for thunk in thunks]
+            wait(futures, return_when=FIRST_EXCEPTION)
+            # A failure (or completion) woke us: stop branches that have not
+            # started, then drain the ones already running.
+            for future in futures:
+                if future.cancel():
+                    cancelled += 1
             for index, future in enumerate(futures):
+                if future.cancelled():
+                    continue
                 try:
                     results[index] = future.result()
+                except CancelledError:  # pragma: no cover - race with cancel()
+                    cancelled += 1
                 except BaseException as exc:  # noqa: BLE001 - re-raised below
-                    errors.append(exc)
-        if errors:
-            raise errors[0]
+                    failures.append((index, exc))
+        if failures:
+            index, error = failures[0]
+            label = labels[index] if labels else f"parallel branch {index + 1}"
+            note = f"raised in {label}"
+            if cancelled:
+                note += f"; cancelled {cancelled} queued branch(es)"
+            if len(failures) > 1:
+                note += f"; {len(failures) - 1} other branch(es) also failed"
+            raise annotate(error, note)
+        return results
+
+    def _run_serial(
+        self,
+        thunks: Sequence[Callable[[], Any]],
+        labels: Sequence[str] | None,
+    ) -> list[Any]:
+        results: list[Any] = []
+        for index, thunk in enumerate(thunks):
+            try:
+                results.append(thunk())
+            except BaseException as exc:  # noqa: BLE001 - annotated re-raise
+                label = labels[index] if labels else f"parallel branch {index + 1}"
+                note = f"raised in {label}"
+                remaining = len(thunks) - index - 1
+                if remaining:
+                    note += f"; cancelled {remaining} queued branch(es)"
+                raise annotate(exc, note)
         return results

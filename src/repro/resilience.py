@@ -1,0 +1,326 @@
+"""Resilient-execution primitives shared by all three architecture levels.
+
+A production video DBMS answers queries over messy broadcast material: slow
+extractors, transient kernel glitches, whole modalities that fail to decode.
+This module supplies the machinery the kernel (`repro.monet`), the algebra
+(`repro.moa`) and the conceptual level (`repro.cobra`) use to keep going:
+
+* :class:`Deadline` — a monotonic-clock budget shared per call or per query,
+* :class:`RetryPolicy` — bounded retry with exponential backoff, applied only
+  to :class:`repro.errors.TransientError`,
+* :class:`CircuitBreaker` — closed/open/half-open protection around each
+  registered extractor so a persistently failing method fails fast,
+* :class:`FailureReport` — the structured record that replaces raw
+  tracebacks on ``QueryResult`` / ``PreprocessReport``,
+* :class:`ResiliencePolicy` — the bundle of the above a `CobraVDBMS` or
+  `MonetKernel` is configured with.
+
+Everything takes an injectable clock/sleep so chaos tests are deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceeded,
+    TransientError,
+    is_transient,
+)
+
+__all__ = [
+    "Deadline",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "FailureReport",
+    "ResiliencePolicy",
+]
+
+
+class Deadline:
+    """A monotonic-clock time budget.
+
+    ``Deadline(None)`` never expires; :meth:`after` starts a finite budget
+    now. Checks are cooperative — long-running Python calls are measured
+    after the fact, which still bounds retries and multi-statement work.
+    """
+
+    __slots__ = ("_expires_at", "_clock")
+
+    def __init__(
+        self,
+        budget_seconds: float | None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._clock = clock
+        if budget_seconds is None:
+            self._expires_at: float | None = None
+        else:
+            if budget_seconds < 0:
+                raise DeadlineExceeded("deadline created already expired")
+            self._expires_at = clock() + budget_seconds
+
+    @classmethod
+    def after(
+        cls, seconds: float | None, clock: Callable[[], float] = time.monotonic
+    ) -> "Deadline":
+        return cls(seconds, clock=clock)
+
+    @property
+    def expired(self) -> bool:
+        return self._expires_at is not None and self._clock() >= self._expires_at
+
+    def remaining(self) -> float:
+        """Seconds left; ``inf`` for an unbounded deadline, floored at 0."""
+        if self._expires_at is None:
+            return float("inf")
+        return max(0.0, self._expires_at - self._clock())
+
+    def check(self, site: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+        if self.expired:
+            raise DeadlineExceeded("deadline exceeded", site=site or None)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff for transient faults.
+
+    Only :class:`repro.errors.TransientError` is retried, and
+    :class:`repro.errors.CircuitOpenError` is excluded by default so open
+    circuits keep failing fast. Sleeps never exceed the active deadline's
+    remaining budget.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.005
+    multiplier: float = 2.0
+    max_delay: float = 0.25
+    give_up_on: tuple[type[BaseException], ...] = (CircuitOpenError,)
+    sleep: Callable[[float], None] = time.sleep
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        return min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+
+    def call(
+        self,
+        fn: Callable[[], Any],
+        site: str = "",
+        deadline: Deadline | None = None,
+        on_retry: Callable[[int, BaseException], None] | None = None,
+    ) -> Any:
+        """Run ``fn`` with retries; returns its value or raises the last error.
+
+        ``on_retry(attempt, error)`` fires before each backoff sleep so
+        callers can log a :class:`FailureReport` per recovery.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            if deadline is not None:
+                deadline.check(site)
+            try:
+                return fn()
+            except TransientError as exc:
+                if isinstance(exc, self.give_up_on) or attempt >= self.max_attempts:
+                    raise
+                pause = self.delay_for(attempt)
+                if deadline is not None:
+                    remaining = deadline.remaining()
+                    if remaining <= 0:
+                        raise DeadlineExceeded(
+                            "deadline exhausted during retry backoff",
+                            site=site or None,
+                        ) from exc
+                    pause = min(pause, remaining)
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                if pause > 0:
+                    self.sleep(pause)
+
+
+class CircuitBreaker:
+    """Closed / open / half-open protection around one extractor.
+
+    Closed: calls pass through; ``failure_threshold`` consecutive failures
+    open the circuit. Open: calls raise :class:`CircuitOpenError` without
+    running until ``recovery_timeout`` elapses. Half-open: one trial call is
+    let through — success closes the circuit, failure re-opens it.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        name: str = "",
+        failure_threshold: int = 3,
+        recovery_timeout: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.recovery_timeout = recovery_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._probe_state()
+
+    def _probe_state(self) -> str:
+        """Current state, promoting open -> half-open after the timeout."""
+        if self._state == self.OPEN:
+            assert self._opened_at is not None
+            if self._clock() - self._opened_at >= self.recovery_timeout:
+                self._state = self.HALF_OPEN
+        return self._state
+
+    def allow(self) -> None:
+        """Raise :class:`CircuitOpenError` when calls must not run."""
+        with self._lock:
+            state = self._probe_state()
+            if state == self.OPEN:
+                assert self._opened_at is not None
+                wait = self.recovery_timeout - (self._clock() - self._opened_at)
+                raise CircuitOpenError(
+                    f"circuit {self.name or '<anonymous>'} is open "
+                    f"({self._consecutive_failures} consecutive failures)",
+                    retry_after=max(wait, 0.0),
+                )
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._state = self.CLOSED
+            self._opened_at = None
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            state = self._probe_state()
+            if (
+                state == self.HALF_OPEN
+                or self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+
+    def call(self, fn: Callable[[], Any]) -> Any:
+        """Run ``fn`` under the breaker, recording the outcome."""
+        self.allow()
+        try:
+            result = fn()
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+
+@dataclass
+class FailureReport:
+    """One structured failure/degradation record (instead of a traceback).
+
+    Attributes:
+        site: where it happened (``kernel.command:hmmP``,
+            ``extractor:flyout_visual``, ``extract.visual`` ...).
+        error: exception class name.
+        message: the exception message.
+        transient: whether the fault was retryable.
+        action: what the system did about it — ``"retried"``,
+            ``"dropped"``, ``"rolled-back"``, ``"circuit-open"``,
+            ``"masked"``, ``"failed"``.
+        attempts: how many attempts had run when the record was made.
+        detail: free-form extra context (dropped kind, masked nodes, ...).
+    """
+
+    site: str
+    error: str
+    message: str
+    transient: bool
+    action: str
+    attempts: int = 1
+    detail: str = ""
+
+    @classmethod
+    def from_exception(
+        cls,
+        site: str,
+        exc: BaseException,
+        action: str,
+        attempts: int = 1,
+        detail: str = "",
+    ) -> "FailureReport":
+        return cls(
+            site=site,
+            error=type(exc).__name__,
+            message=str(exc),
+            transient=is_transient(exc),
+            action=action,
+            attempts=attempts,
+            detail=detail,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        extra = f" [{self.detail}]" if self.detail else ""
+        return (
+            f"{self.site}: {self.error}({self.message!r}) -> "
+            f"{self.action} after {self.attempts} attempt(s){extra}"
+        )
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """The fault-handling configuration of a kernel / VDBMS.
+
+    Attributes:
+        retry: backoff policy for transient faults.
+        call_timeout: per-call budget (seconds) for guarded kernel commands
+            and extractor invocations; ``None`` = unbounded.
+        query_budget: per-query budget (seconds); ``None`` = unbounded.
+        breaker_failure_threshold / breaker_recovery_timeout: parameters of
+            the per-extractor circuit breakers.
+        on_error: ``"raise"`` keeps the historical fail-fast behaviour;
+            ``"degrade"`` drops what failed, records a
+            :class:`FailureReport`, and answers from what survived.
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    call_timeout: float | None = None
+    query_budget: float | None = None
+    breaker_failure_threshold: int = 3
+    breaker_recovery_timeout: float = 30.0
+    on_error: str = "raise"
+
+    def __post_init__(self) -> None:
+        if self.on_error not in ("raise", "degrade"):
+            raise ValueError(
+                f"on_error must be 'raise' or 'degrade', got {self.on_error!r}"
+            )
+
+    @property
+    def degrade(self) -> bool:
+        return self.on_error == "degrade"
+
+    def query_deadline(self) -> Deadline:
+        return Deadline(self.query_budget)
+
+    def new_breaker(self, name: str) -> CircuitBreaker:
+        return CircuitBreaker(
+            name=name,
+            failure_threshold=self.breaker_failure_threshold,
+            recovery_timeout=self.breaker_recovery_timeout,
+        )

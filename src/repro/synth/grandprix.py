@@ -21,7 +21,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.audio.signal import AudioSignal
+from repro.faults import resolve_injector
 from repro.synth.annotations import GroundTruth
 from repro.synth.audio_synth import RaceAudio, synthesize_audio
 from repro.synth.race import RaceSpec, RaceTimeline, generate_timeline
@@ -102,17 +105,62 @@ def synthesize_race(
     frame_height: int = 144,
     frame_width: int = 192,
     fps: float = 10.0,
+    faults=None,
 ) -> SyntheticRace:
-    """Generate one complete synthetic Grand Prix (seeded by the spec)."""
+    """Generate one complete synthetic Grand Prix (seeded by the spec).
+
+    ``faults`` (an injector, a plan, or None for the global injector)
+    degrades the *broadcast material* while leaving the ground truth
+    clean: audio dropouts (site ``synth.audio``), lost/frozen frames
+    (``synth.video``), and garbled overlay text (``synth.text``) — the
+    messy inputs a robust extraction chain has to survive.
+    """
+    injector = resolve_injector(faults)
     timeline = generate_timeline(spec)
+    # Truth reflects what happened on track, not what survived broadcast —
+    # capture it before any corruption touches the timeline.
+    truth = timeline.ground_truth()
+    if injector.enabled:
+        timeline.overlays = [
+            (interval, [injector.corrupt_text("synth.text", word) for word in words])
+            for interval, words in timeline.overlays
+        ]
     audio = synthesize_audio(timeline, sample_rate=sample_rate)
+    if injector.enabled:
+        samples = injector.corrupt_array("synth.audio", audio.signal.samples)
+        if samples is not audio.signal.samples:
+            audio = RaceAudio(
+                AudioSignal(np.clip(samples, -1.0, 1.0), audio.signal.sample_rate),
+                audio.phone_slots,
+                audio.speech_intervals,
+            )
     renderer = RaceVideoRenderer(
         timeline, height=frame_height, width=frame_width, fps=fps
     )
+    video = renderer.stream()
+    if injector.enabled:
+        mask = injector.frame_loss_mask("synth.video", video.n_frames)
+        if mask is not None:
+            video = _with_frame_loss(video, mask)
     return SyntheticRace(
         spec=spec,
         timeline=timeline,
         audio=audio,
-        video=renderer.stream(),
-        truth=timeline.ground_truth(),
+        video=video,
+        truth=truth,
     )
+
+
+def _with_frame_loss(stream: FrameStream, mask: np.ndarray) -> FrameStream:
+    """Freeze lost frames to their predecessor (broadcast-style glitching)."""
+
+    def source():
+        last = None
+        for index, frame in enumerate(stream):
+            if mask[index] and last is not None:
+                yield last
+            else:
+                last = frame
+                yield frame
+
+    return FrameStream(source, stream.fps, stream.n_frames)

@@ -1,0 +1,219 @@
+"""Graceful multimodal degradation: fusion answers from surviving streams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalError
+from repro.faults import FaultInjector, get_plan
+from repro.fusion.discretize import soft_evidence
+from repro.fusion.features import (
+    MODALITY_OF_FEATURE,
+    VISUAL_FEATURES,
+    FeatureSet,
+)
+from repro.fusion.pipeline import AvExperiment, RaceData
+from repro.monet.kernel import MonetKernel
+from repro.resilience import ResiliencePolicy, RetryPolicy
+
+VISUAL_STREAMS = set(VISUAL_FEATURES) | {"passing", "dve"}
+AUDIO_STREAMS = {f"f{i}" for i in range(2, 11)}
+TEXT_STREAMS = {"f1"}
+
+
+def degraded_copy(data: RaceData, remove: set[str], reason: str) -> RaceData:
+    """A RaceData view of the same race with some streams lost."""
+    features = data.features
+    streams = {k: v for k, v in features.streams.items() if k not in remove}
+    dropped = {k: reason for k in sorted(remove & set(features.streams))}
+    return RaceData(
+        data.race,
+        FeatureSet(
+            features.race_name, streams, features.keyword_hits, dropped=dropped
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def av(mini_race) -> AvExperiment:
+    """One trained AV network, tolerant of missing evidence at query time."""
+    return AvExperiment(mini_race, seed=0, allow_missing=True)
+
+
+@pytest.fixture(scope="module")
+def clean_eval(av, mini_race):
+    return av.evaluate(mini_race)
+
+
+class TestStrictMode:
+    def test_missing_stream_raises_without_allow_missing(self, av, mini_race):
+        strict = AvExperiment.__new__(AvExperiment)
+        strict.__dict__.update(av.__dict__)
+        strict.allow_missing = False
+        broken = degraded_copy(mini_race, VISUAL_STREAMS, "decoder died")
+        with pytest.raises(SignalError, match="allow_missing"):
+            strict.evaluate(broken)
+
+    def test_error_names_the_dropped_reason(self, av, mini_race):
+        strict = AvExperiment.__new__(AvExperiment)
+        strict.__dict__.update(av.__dict__)
+        strict.allow_missing = False
+        broken = degraded_copy(mini_race, {"f12"}, "MPEG artifact storm")
+        with pytest.raises(SignalError, match="MPEG artifact storm"):
+            strict.evaluate(broken)
+
+
+class TestDegradedEvaluation:
+    def test_audio_only(self, av, mini_race):
+        """All visual + text evidence gone: answers ride on f2-f10 alone."""
+        broken = degraded_copy(
+            mini_race, VISUAL_STREAMS | TEXT_STREAMS, "modality lost"
+        )
+        result = av.evaluate(broken)
+        assert result.degraded
+        # every lost evidence node is named, nothing silently vanishes
+        assert set(result.masked_nodes) >= {"f11", "f12", "f17", "f1"}
+        for posterior in result.posteriors.values():
+            assert np.all(np.isfinite(posterior))
+            assert np.all((posterior >= 0) & (posterior <= 1))
+        # audio evidence alone still finds highlights above a floor
+        assert result.highlight_scores.precision >= 0.5
+        assert result.highlight_scores.recall >= 0.25
+
+    def test_video_only(self, av, mini_race):
+        """Audio track dead: keywords + excitement gone, visual survives."""
+        broken = degraded_copy(
+            mini_race, AUDIO_STREAMS | TEXT_STREAMS, "audio track dead"
+        )
+        result = av.evaluate(broken)
+        assert result.degraded
+        assert set(result.masked_nodes) >= {"f2", "f9", "f1"}
+        for posterior in result.posteriors.values():
+            assert np.all(np.isfinite(posterior))
+        # visual evidence alone still finds highlights above a floor
+        assert result.highlight_scores.precision >= 0.5
+        assert result.highlight_scores.recall >= 0.25
+
+    def test_text_missing_stays_close_to_clean(self, av, mini_race, clean_eval):
+        """Losing only keywords degrades gently — detection floor holds."""
+        broken = degraded_copy(mini_race, TEXT_STREAMS, "closed captions lost")
+        result = av.evaluate(broken)
+        assert result.degraded
+        assert result.masked_nodes == ["f1"]
+        floor = 0.25
+        assert result.highlight_scores.recall >= max(
+            clean_eval.highlight_scores.recall - floor, 0.0
+        )
+        assert result.highlight_scores.precision >= max(
+            clean_eval.highlight_scores.precision - floor, 0.0
+        )
+
+    def test_degradations_are_enumerated(self, av, mini_race):
+        broken = degraded_copy(mini_race, VISUAL_STREAMS, "renderer crash")
+        result = av.evaluate(broken)
+        notes = result.degradations()
+        assert notes
+        for name in sorted(VISUAL_STREAMS & set(mini_race.features.streams)):
+            assert any(name in note for note in notes)
+
+    def test_clean_input_reports_nothing(self, clean_eval):
+        assert not clean_eval.degraded
+        assert clean_eval.masked_nodes == []
+        assert clean_eval.dropped_features == {}
+
+
+class TestFeatureSetDegradation:
+    def test_missing_modalities_named(self, mini_race):
+        broken = degraded_copy(mini_race, VISUAL_STREAMS, "lost").features
+        assert broken.missing_modalities() == ["visual"]
+        assert broken.degraded
+
+    def test_partial_loss_keeps_modality(self, mini_race):
+        broken = degraded_copy(mini_race, {"f12", "f13"}, "lost").features
+        assert broken.missing_modalities() == []  # other visual streams live
+
+    def test_dropped_stream_access_explains(self, mini_race):
+        broken = degraded_copy(mini_race, {"f12"}, "sensor gone").features
+        with pytest.raises(SignalError, match="sensor gone"):
+            broken.stream("f12")
+
+    def test_modality_map_covers_all_streams(self, mini_race):
+        for name in mini_race.features.streams:
+            assert name in MODALITY_OF_FEATURE
+
+
+class TestEvidenceMasking:
+    def test_hard_evidence_masks_with_uninformative_soft(self, av, mini_race):
+        broken = degraded_copy(mini_race, {"f12"}, "lost")
+        evidence = av._evidence(broken)
+        assert evidence.masked == ("f12",)
+        likelihood = evidence.likelihoods("f12")
+        np.testing.assert_array_equal(likelihood, np.ones_like(likelihood))
+
+    def test_masking_survives_slicing(self, av, mini_race):
+        broken = degraded_copy(mini_race, {"f12"}, "lost")
+        evidence = av._evidence(broken)
+        assert evidence.slice(0, 50).masked == ("f12",)
+        assert all(s.masked == ("f12",) for s in evidence.segments(100))
+
+    def test_soft_evidence_allow_missing(self, av, mini_race):
+        from repro.fusion.av_network import av_node_to_feature
+
+        broken = degraded_copy(mini_race, {"f1"}, "lost")
+        evidence = soft_evidence(
+            av.template,
+            broken.features,
+            av_node_to_feature(True),
+            allow_missing=True,
+        )
+        assert evidence.masked == ("f1",)
+
+    def test_all_ones_equals_absent_evidence(self, av, mini_race):
+        """Masking a node must give the same posterior as true absence."""
+        broken = degraded_copy(mini_race, {"f12"}, "lost")
+        masked_posterior = av.posteriors(broken)["Highlight"][:200]
+        assert np.all(np.isfinite(masked_posterior))
+
+
+class TestAcceptanceScenario:
+    """ISSUE 2 acceptance: modality-drop plan + 5% transient kernel faults."""
+
+    def test_av_experiment_survives_modality_drop_plan(self, av):
+        from repro.fusion.pipeline import prepare_race
+        from tests.conftest import MINI_SPEC
+
+        injector = FaultInjector(get_plan("modality-drop"))
+        data = prepare_race(MINI_SPEC, faults=injector, on_error="degrade")
+        # the whole visual modality is gone
+        assert data.features.missing_modalities() == ["visual"]
+        assert all(
+            MODALITY_OF_FEATURE[name] == "visual"
+            for name in data.features.dropped
+        )
+        result = av.evaluate(data)  # completes without raising
+        assert result.degraded
+        notes = result.degradations()
+        for name in sorted(data.features.dropped):
+            assert any(name in note for note in notes)
+        # audio evidence still drives the answer
+        assert np.all(np.isfinite(result.posteriors["Highlight"]))
+
+    def test_kernel_absorbs_transient_faults_with_bounded_retries(self):
+        injector = FaultInjector(get_plan("modality-drop"))
+        slept: list[float] = []
+        kernel = MonetKernel(
+            faults=injector,
+            resilience=ResiliencePolicy(
+                retry=RetryPolicy(max_attempts=3, sleep=slept.append)
+            ),
+        )
+        kernel.register_command("step", lambda x: x * 2)
+        for i in range(100):
+            assert kernel.run(f"RETURN step({i});") == i * 2
+        reports = kernel.drain_failures()
+        assert reports, "5% of 100 calls should trigger"
+        assert all(r.action == "retried" for r in reports)
+        # backoff policy bounds the recovery work
+        assert len(slept) == len(reports)
+        assert all(delay <= 0.25 for delay in slept)

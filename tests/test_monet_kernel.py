@@ -1,6 +1,7 @@
 """Kernel catalog, modules, parallel executor, multi-BAT operators."""
 
 import threading
+import time
 
 import pytest
 
@@ -122,7 +123,7 @@ class TestParallelExecutor:
         results = ex.run([barrier.wait for _ in range(3)])
         assert len(results) == 3
 
-    def test_error_propagates_after_all_finish(self):
+    def test_error_propagates_with_original_type(self):
         ex = ParallelExecutor(threads=2)
         seen = []
 
@@ -132,9 +133,29 @@ class TestParallelExecutor:
         def bad():
             raise RuntimeError("x")
 
-        with pytest.raises(RuntimeError):
+        # Already-running branches finish; queued ones may be cancelled.
+        with pytest.raises(RuntimeError, match="x"):
             ex.run([bad, good, good])
-        assert len(seen) == 2
+        assert len(seen) <= 2
+
+    def test_failure_cancels_queued_branches(self):
+        ex = ParallelExecutor(threads=2)
+        seen = []
+
+        def bad():
+            raise RuntimeError("first branch down")
+
+        def good():
+            time.sleep(0.005)
+            seen.append(1)
+
+        with pytest.raises(RuntimeError) as info:
+            ex.run([bad] + [good] * 50)
+        # the failure must have stopped the queue well before it drained
+        assert len(seen) < 50
+        context = getattr(info.value, "context_notes", [])
+        assert any("parallel branch 1" in note for note in context)
+        assert any("cancelled" in note for note in context)
 
     def test_empty_run(self):
         assert ParallelExecutor().run([]) == []
