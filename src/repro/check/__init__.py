@@ -8,7 +8,10 @@ the reproduction's three levels:
 * :mod:`repro.check.moacheck` — shape and binding validation of Moa
   expression trees against the extension registry (``MOAnnn`` codes);
 * :mod:`repro.check.modelcheck` — linting of BN/DBN probability models and
-  their evidence mappings (``MODELnnn`` codes).
+  their evidence mappings (``MODELnnn`` codes);
+* :mod:`repro.check.catalogcheck` — structural invariants of a BAT catalog
+  (``CATnnn`` codes), run by crash recovery before a recovered catalog is
+  opened.
 
 All three report :class:`Diagnostic` findings through a shared
 :class:`DiagnosticReport`; error-severity findings raise the matching
@@ -22,6 +25,7 @@ Run the linter from the command line::
     python -m repro.check path/to/file.mil
 """
 
+from repro.check.catalogcheck import check_catalog
 from repro.check.diagnostics import (
     CheckMode,
     Diagnostic,
@@ -42,6 +46,7 @@ __all__ = [
     "MilChecker",
     "MoaChecker",
     "Severity",
+    "check_catalog",
     "check_cpd",
     "check_mil_proc",
     "check_mil_source",

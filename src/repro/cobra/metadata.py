@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.cobra.model import VideoDocument, VideoEvent, VideoObject
-from repro.errors import CobraError
+from repro.errors import CobraError, MonetError
 from repro.monet.bat import BAT
 from repro.monet.kernel import MonetKernel
 from repro.synth.annotations import Interval
@@ -46,17 +46,32 @@ class MetadataStore:
     def __init__(self, kernel: MonetKernel):
         self._kernel = kernel
         self._event_bats = {
-            attr: kernel.persist(f"meta_event_{attr}", BAT("void", tail))
+            attr: self._adopt(f"meta_event_{attr}", "void", tail)
             for attr, tail in _EVENT_SCHEMA.items()
         }
         self._object_bats = {
-            attr: kernel.persist(f"meta_object_{attr}", BAT("void", tail))
+            attr: self._adopt(f"meta_object_{attr}", "void", tail)
             for attr, tail in _OBJECT_SCHEMA.items()
         }
         # event roles: (event oid -> role name) and (event oid -> object id)
-        self._role_names = kernel.persist("meta_role_name", BAT("oid", "str"))
-        self._role_objects = kernel.persist("meta_role_object", BAT("oid", "str"))
+        self._role_names = self._adopt("meta_role_name", "oid", "str")
+        self._role_objects = self._adopt("meta_role_object", "oid", "str")
         self._documents: dict[str, VideoDocument] = {}
+
+    def _adopt(self, name: str, head_type: str, tail_type: str) -> BAT:
+        """Reuse a recovered catalog BAT when its types match (a kernel
+        opened on a durable store already holds the metadata); otherwise
+        persist a fresh empty one."""
+        try:
+            existing = self._kernel.bat(name)
+        except MonetError:
+            existing = None
+        if existing is not None and (
+            existing.head_type,
+            existing.tail_type,
+        ) == (head_type, tail_type):
+            return existing
+        return self._kernel.persist(name, BAT(head_type, tail_type))
 
     # ------------------------------------------------------------------
     # ingestion
@@ -66,10 +81,20 @@ class MetadataStore:
         if video_id in self._documents:
             raise CobraError(f"video {video_id!r} already registered")
         self._documents[video_id] = document
+        if self._has_rows_for(video_id):
+            # the BATs were recovered from a durable store: re-registering
+            # the document only restores the Python-side handle
+            return
         for video_object in document.objects.values():
             self._store_object(video_id, video_object)
         for event in document.events.values():
             self._store_event(video_id, event)
+
+    def _has_rows_for(self, video_id: str) -> bool:
+        return (
+            video_id in self._event_bats["video_id"].tails()
+            or video_id in self._object_bats["video_id"].tails()
+        )
 
     def store_event(self, video_id: str, event: VideoEvent) -> None:
         """Add one (possibly freshly extracted) event to the metadata."""

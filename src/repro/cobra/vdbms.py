@@ -35,7 +35,31 @@ from repro.resilience import (
     ResiliencePolicy,
 )
 
-__all__ = ["QueryResult", "CobraVDBMS"]
+__all__ = ["QueryResult", "DrainedFailures", "CobraVDBMS"]
+
+
+@dataclass
+class DrainedFailures:
+    """Failure reports plus the circuit-breaker panel, drained together.
+
+    ``breakers`` maps each extraction method that has a breaker to its
+    current state (``closed`` / ``open`` / ``half-open``) — the operator
+    view needed to decide which extractors to :meth:`CobraVDBMS
+    .reset_breaker`.
+    """
+
+    failures: list[FailureReport] = field(default_factory=list)
+    breakers: dict[str, str] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.failures)
+
+    def __iter__(self):
+        return iter(self.failures)
+
+    @property
+    def open_breakers(self) -> list[str]:
+        return [name for name, state in self.breakers.items() if state != "closed"]
 
 
 @dataclass
@@ -86,15 +110,22 @@ class CobraVDBMS:
         check: str = "error",
         faults: Any = None,
         resilience: ResiliencePolicy | None = None,
+        store: Any = None,
     ):
         self.faults = resolve_injector(faults)
         self.resilience = resilience or ResiliencePolicy()
+        #: ``store`` (a directory path or :class:`repro.durability
+        #: .DurableStore`) makes the catalog durable: registered documents
+        #: and preprocessor extraction results survive a restart, and the
+        #: startup :class:`RecoveryReport` lands on :attr:`recovery`.
         self.kernel = MonetKernel(
             threads=threads,
             check=check,
             faults=self.faults,
             resilience=self.resilience,
+            store=store,
         )
+        self.recovery = self.kernel.recovery
         self.metadata = MetadataStore(self.kernel)
         self.extensions = ExtensionRegistry(faults=self.faults)
         self.compiler = MoaCompiler(
@@ -131,9 +162,15 @@ class CobraVDBMS:
         self.catalog.add_domain(knowledge)
 
     def register_document(self, document: VideoDocument, domain: str) -> None:
-        """Register a video under a domain; its metadata becomes queryable."""
+        """Register a video under a domain; its metadata becomes queryable.
+
+        Runs in a kernel transaction: the document's event and object rows
+        land in the metadata BATs atomically, and on a durable kernel the
+        whole registration is one WAL commit.
+        """
         self.catalog.domain(domain)  # raises if unknown
-        self.metadata.register_document(document)
+        with self.kernel.transaction():
+            self.metadata.register_document(document)
         self._domain_of_video[document.raw.video_id] = domain
 
     def document(self, video_id: str) -> VideoDocument:
@@ -192,6 +229,40 @@ class CobraVDBMS:
             return self._domain_of_video[video_id]
         except KeyError:
             raise CobraError(f"unknown video {video_id!r}") from None
+
+    # ------------------------------------------------------------------
+    # operations: failures, breakers, durability
+    # ------------------------------------------------------------------
+    def drain_failures(self) -> DrainedFailures:
+        """Drain accumulated failure reports, with the breaker panel."""
+        return DrainedFailures(
+            failures=self.kernel.drain_failures(),
+            breakers=self.breaker_states(),
+        )
+
+    def breaker_states(self) -> dict[str, str]:
+        """Current state of every per-extraction-method circuit breaker."""
+        return {
+            name: breaker.state
+            for name, breaker in sorted(self._breakers.items())
+        }
+
+    def reset_breaker(self, method: str) -> None:
+        """Operator re-arm of one extraction method's circuit breaker."""
+        try:
+            self._breakers[method].reset()
+        except KeyError:
+            raise CobraError(
+                f"no circuit breaker for extraction method {method!r}"
+            ) from None
+
+    def checkpoint(self) -> int:
+        """Fold the durable kernel's WAL into a fresh checkpoint."""
+        return self.kernel.checkpoint()
+
+    def close(self) -> None:
+        """Release the durable store (no-op for an in-memory kernel)."""
+        self.kernel.close()
 
     # ------------------------------------------------------------------
     # compound events (§5.6)

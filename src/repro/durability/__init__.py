@@ -1,0 +1,67 @@
+"""Durability and crash recovery for the Monet catalog.
+
+The paper's Monet kernel is a real DBMS with persistent BATs; the
+reproduction's catalog was purely in-memory until this package added the
+classic recoverability stack:
+
+* :mod:`repro.durability.wal` — an append-only, CRC32-checksummed,
+  length-prefixed write-ahead log with fsync-on-commit and named crash
+  points;
+* :mod:`repro.durability.checkpoint` — atomic (write-temp, fsync, rename)
+  full-catalog checkpoints that truncate the log;
+* :mod:`repro.durability.store` — the :class:`DurableStore` façade tying
+  the two together, with :meth:`DurableStore.recover` rebuilding the last
+  committed state and reporting recovery-time metrics;
+* :mod:`repro.durability.chaos` — the kill-point sweep that proves the
+  guarantees by killing at every crash point and recovering.
+
+Opt in through the kernel::
+
+    kernel = MonetKernel(store="state/catalog")   # recovers, then logs
+    with kernel.transaction():                    # WAL commit boundary
+        kernel.persist("laps", laps)
+    kernel.checkpoint()                           # fold WAL into checkpoint
+
+Inspect a store from the command line::
+
+    python -m repro.durability inspect state/catalog
+    python -m repro.durability verify  state/catalog
+    python -m repro.durability compact state/catalog
+    python -m repro.durability sweep
+"""
+
+from repro.durability.chaos import (
+    CRASH_SITES,
+    SweepResult,
+    SweepSummary,
+    kill_point_sweep,
+    run_crash_site,
+)
+from repro.durability.checkpoint import (
+    Checkpoint,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.durability.store import (
+    DurableStore,
+    RecoveredState,
+    RecoveryReport,
+)
+from repro.durability.wal import WalScan, WriteAheadLog, read_records
+
+__all__ = [
+    "CRASH_SITES",
+    "Checkpoint",
+    "DurableStore",
+    "RecoveredState",
+    "RecoveryReport",
+    "SweepResult",
+    "SweepSummary",
+    "WalScan",
+    "WriteAheadLog",
+    "kill_point_sweep",
+    "read_checkpoint",
+    "read_records",
+    "run_crash_site",
+    "write_checkpoint",
+]

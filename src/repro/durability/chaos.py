@@ -1,0 +1,323 @@
+"""Kill-point chaos verification of the durability layer.
+
+The crash model is a *process kill*: a ``kind="kill"`` fault raises
+:class:`repro.errors.SimulatedCrash` at a named crash point inside the WAL
+or checkpoint write path, the "process" (the kernel object) is abandoned,
+and a fresh :class:`DurableStore` recovers from whatever reached the file
+system. Bytes already written survive the kill (page-cache loss is not
+modelled); torn records are manufactured for real by the WAL writer's
+split-write protocol around ``wal.append:mid``.
+
+Every crash point is classified by what the last mutation's fate must be
+after recovery:
+
+* ``durable`` — the record (or commit marker) reached the file before the
+  kill, so the mutation MUST be present after recovery;
+* ``absent`` — the kill preceded the record (or tore it, or left a commit
+  batch without its marker), so the mutation MUST NOT be present;
+* ``neutral`` — checkpoint-path kills: checkpoints never change the logical
+  catalog, so recovery must return exactly the pre-kill committed state.
+
+:func:`kill_point_sweep` runs a fixed six-step workload once per crash
+point, kills at that point, recovers, and compares the recovered catalog
+against the expected model — structurally via :meth:`BAT.equals` and
+byte-for-byte on the numeric tail arrays. Any surviving uncommitted
+transaction, lost committed mutation, or resurrected rolled-back state is
+a sweep failure. ``python -m repro.durability sweep`` runs it standalone;
+the CI ``crash-recovery`` job runs it on every push.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Mapping
+
+import numpy as np
+
+from repro.durability.store import DurableStore, RecoveryReport
+from repro.errors import SimulatedCrash
+from repro.faults import FaultPlan, FaultSpec
+from repro.monet.bat import BAT
+from repro.monet.kernel import MonetKernel
+
+__all__ = [
+    "ABSENT",
+    "CRASH_SITES",
+    "DURABLE",
+    "NEUTRAL",
+    "SweepResult",
+    "SweepSummary",
+    "kill_point_sweep",
+    "run_crash_site",
+]
+
+DURABLE = "durable"
+ABSENT = "absent"
+NEUTRAL = "neutral"
+
+#: Every named crash point, classified by the required post-recovery fate
+#: of the mutation in flight when the kill fires.
+CRASH_SITES: dict[str, str] = {
+    "wal.append:before": ABSENT,
+    "wal.append:mid": ABSENT,  # record torn in half; recovery truncates it
+    "wal.append:written": DURABLE,
+    "wal.append:synced": DURABLE,
+    "wal.commit:begin": ABSENT,
+    "wal.commit:mid": ABSENT,  # batch without its commit marker: discarded
+    "wal.commit:marker": DURABLE,
+    "wal.commit:synced": DURABLE,
+    "checkpoint:before": NEUTRAL,
+    "checkpoint:temp-written": NEUTRAL,
+    "checkpoint:renamed": NEUTRAL,
+    "checkpoint:truncated": NEUTRAL,
+}
+
+
+# ---------------------------------------------------------------------------
+# the workload: six deterministic steps covering every write path
+# ---------------------------------------------------------------------------
+
+_PROC_SOURCE = """
+PROC bestLap(BAT[void,dbl] laps) : dbl := {
+    RETURN laps.min;
+}
+"""
+
+
+def _lap_bat() -> BAT:
+    return BAT.from_columns(
+        "void", "dbl", [0, 1, 2], [78.123, 77.901, 78.456], next_oid=3
+    )
+
+
+def _lap_bat_extended() -> BAT:
+    return BAT.from_columns(
+        "void", "dbl", [0, 1, 2, 3], [78.123, 77.901, 78.456, 77.512], next_oid=4
+    )
+
+
+def _driver_bat() -> BAT:
+    return BAT.from_columns(
+        "void", "str", [0, 1], ["hakkinen", "schumacher"], next_oid=2
+    )
+
+
+def _pit_bat() -> BAT:
+    return BAT.from_columns("void", "dbl", [0, 1], [7.8, 8.4], next_oid=2)
+
+
+def _ranking_bat() -> BAT:
+    return BAT.from_columns("void", "int", [0, 1, 2], [3, 1, 2], next_oid=3)
+
+
+@dataclass
+class _Step:
+    """One workload step: mutate the kernel, and (on success or a
+    ``durable``-classified kill) the expected model."""
+
+    name: str
+    run: Callable[[MonetKernel], None]
+    commit: Callable[[dict[str, BAT], set[str]], None]
+
+
+def _txn_insert(kernel: MonetKernel) -> None:
+    with kernel.transaction():
+        kernel.persist("driver", _driver_bat())
+        kernel.bat("lap_time").insert(77.512)
+
+
+def _txn_insert_model(model: dict[str, BAT], procs: set[str]) -> None:
+    model["driver"] = _driver_bat()
+    model["lap_time"] = _lap_bat_extended()
+
+
+def _txn_drop(kernel: MonetKernel) -> None:
+    with kernel.transaction():
+        kernel.drop("driver")
+        kernel.persist("pit_stop", _pit_bat())
+
+
+def _txn_drop_model(model: dict[str, BAT], procs: set[str]) -> None:
+    del model["driver"]
+    model["pit_stop"] = _pit_bat()
+
+
+def build_workload() -> list[_Step]:
+    """The sweep workload: auto-commit persists, transactions (insert and
+    drop), a PROC definition, and a checkpoint — in an order that puts each
+    crash-site family's first trigger in a known step."""
+    return [
+        _Step(
+            "persist lap_time (auto-commit)",
+            lambda k: k.persist("lap_time", _lap_bat()),
+            lambda m, p: m.__setitem__("lap_time", _lap_bat()),
+        ),
+        _Step("txn: persist driver + insert lap", _txn_insert, _txn_insert_model),
+        _Step(
+            "define PROC bestLap",
+            lambda k: k.run(_PROC_SOURCE),
+            lambda m, p: p.add("bestLap"),
+        ),
+        _Step("checkpoint", lambda k: k.checkpoint(), lambda m, p: None),
+        _Step("txn: drop driver + persist pit_stop", _txn_drop, _txn_drop_model),
+        _Step(
+            "persist final_ranking (auto-commit)",
+            lambda k: k.persist("final_ranking", _ranking_bat()),
+            lambda m, p: m.__setitem__("final_ranking", _ranking_bat()),
+        ),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# comparison and results
+# ---------------------------------------------------------------------------
+
+
+def compare_catalogs(
+    expected: Mapping[str, BAT], recovered: Mapping[str, BAT]
+) -> list[str]:
+    """Mismatch descriptions between an expected model and a recovered
+    catalog — empty when they agree structurally AND the numeric tail
+    arrays agree byte-for-byte."""
+    failures: list[str] = []
+    if set(expected) != set(recovered):
+        failures.append(
+            f"catalog names differ: expected {sorted(expected)}, "
+            f"recovered {sorted(recovered)}"
+        )
+    for name in sorted(set(expected) & set(recovered)):
+        want, got = expected[name], recovered[name]
+        if not want.equals(got):
+            failures.append(
+                f"{name}: recovered BAT differs "
+                f"(expected {len(want)} rows, got {len(got)})"
+            )
+            continue
+        want_tail, got_tail = want.tail_array(), got.tail_array()
+        if want_tail.dtype != got_tail.dtype:
+            failures.append(
+                f"{name}: tail dtype {got_tail.dtype} != expected {want_tail.dtype}"
+            )
+        elif want_tail.dtype != np.dtype(object) and (
+            want_tail.tobytes() != got_tail.tobytes()
+        ):
+            failures.append(f"{name}: tail arrays differ byte-for-byte")
+    return failures
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one crash-site run of the workload."""
+
+    site: str
+    classification: str
+    crashed: bool
+    crashed_step: str | None
+    failures: list[str]
+    report: RecoveryReport
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        where = f" (killed during: {self.crashed_step})" if self.crashed else ""
+        lines = [f"{status}  {self.site} [{self.classification}]{where}"]
+        lines.extend(f"      {f}" for f in self.failures)
+        return "\n".join(lines)
+
+
+@dataclass
+class SweepSummary:
+    results: list[SweepResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    @property
+    def failed(self) -> list[SweepResult]:
+        return [r for r in self.results if not r.ok]
+
+    def describe(self) -> str:
+        lines = [r.describe() for r in self.results]
+        lines.append(
+            f"kill-point sweep: {len(self.results) - len(self.failed)}/"
+            f"{len(self.results)} site(s) recovered to the last committed state"
+        )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# the sweep
+# ---------------------------------------------------------------------------
+
+
+def run_crash_site(
+    base_dir: str | Path,
+    site: str,
+    classification: str | None = None,
+    fsync: bool = True,
+) -> SweepResult:
+    """Run the workload with a one-shot kill at ``site``, then recover and
+    compare against the expected committed state."""
+    classification = (
+        CRASH_SITES[site] if classification is None else classification
+    )
+    store_dir = Path(base_dir) / site.replace(":", "__").replace(".", "_")
+    plan = FaultPlan(
+        seed=7,
+        name=f"kill-{site}",
+        specs=(FaultSpec(site=site, kind="kill", max_triggers=1),),
+    )
+    store = DurableStore(store_dir, faults=plan, fsync=fsync)
+    # check="warn": the sweep verifies crash consistency, not MIL style
+    kernel = MonetKernel(check="warn", store=store)
+
+    model: dict[str, BAT] = {}
+    expected_procs: set[str] = set()
+    crashed = False
+    crashed_step: str | None = None
+    for step in build_workload():
+        try:
+            step.run(kernel)
+        except SimulatedCrash:
+            crashed = True
+            crashed_step = step.name
+            if classification == DURABLE:
+                step.commit(model, expected_procs)
+            break
+        step.commit(model, expected_procs)
+    # the killed "process" is abandoned; release its file handle (the kill
+    # is simulated in-process, so the descriptor would otherwise leak)
+    kernel.close()
+
+    state = DurableStore(store_dir, fsync=fsync).recover()
+    failures = compare_catalogs(model, state.catalog)
+    missing_procs = expected_procs - set(state.definitions)
+    if missing_procs:
+        failures.append(f"committed PROC(s) lost: {sorted(missing_procs)}")
+    return SweepResult(
+        site=site,
+        classification=classification,
+        crashed=crashed,
+        crashed_step=crashed_step,
+        failures=failures,
+        report=state.report,
+    )
+
+
+def kill_point_sweep(
+    base_dir: str | Path,
+    sites: Iterable[str] | None = None,
+    fsync: bool = True,
+) -> SweepSummary:
+    """Kill at every crash point in turn; every run must recover to exactly
+    the last committed state (the acceptance bar for the durability layer)."""
+    chosen = list(CRASH_SITES) if sites is None else list(sites)
+    summary = SweepSummary()
+    for site in chosen:
+        summary.results.append(run_crash_site(base_dir, site, fsync=fsync))
+    return summary

@@ -1,0 +1,175 @@
+"""Atomic catalog checkpoints.
+
+A checkpoint is one JSON document holding the full BAT catalog, the pickled
+MIL ``ProcDef`` ASTs, and the registered module names, wrapped with a
+format tag and a CRC32 over the canonically serialized body::
+
+    {"format": 1, "crc": <crc32>, "body": {"seqno": ..., "catalog": ...}}
+
+Writing is crash-atomic: serialize to ``checkpoint.tmp``, fsync, rename
+over ``checkpoint``, fsync the directory. A reader therefore sees either
+the previous checkpoint or the new one, never a torn hybrid; the CRC guards
+against bit rot, not torn writes.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.durability.wal import bat_from_payload, bat_to_payload
+from repro.errors import RecoveryError
+from repro.faults import FaultInjector
+from repro.monet.bat import BAT
+
+__all__ = ["CHECKPOINT_NAME", "Checkpoint", "read_checkpoint", "write_checkpoint"]
+
+CHECKPOINT_NAME = "checkpoint"
+CHECKPOINT_FORMAT = 1
+
+
+@dataclass
+class Checkpoint:
+    """A deserialized checkpoint: the durable state at one seqno."""
+
+    seqno: int = 0
+    catalog: dict[str, BAT] = field(default_factory=dict)
+    #: MIL procedure name -> pickled ProcDef AST (kept pickled until the
+    #: kernel replays it, so loading a store never requires the modules).
+    procs: dict[str, bytes] = field(default_factory=dict)
+    modules: list[str] = field(default_factory=list)
+
+    def definitions(self) -> dict[str, Any]:
+        """Unpickled ProcDef ASTs keyed by procedure name."""
+        return {name: pickle.loads(blob) for name, blob in self.procs.items()}
+
+
+def _body(checkpoint: Checkpoint) -> dict[str, Any]:
+    return {
+        "seqno": checkpoint.seqno,
+        "catalog": {
+            name: bat_to_payload(bat) for name, bat in checkpoint.catalog.items()
+        },
+        "procs": {
+            name: base64.b64encode(blob).decode("ascii")
+            for name, blob in checkpoint.procs.items()
+        },
+        "modules": sorted(checkpoint.modules),
+    }
+
+
+def _canonical(body: Mapping[str, Any]) -> bytes:
+    return json.dumps(body, sort_keys=True, allow_nan=True).encode("utf-8")
+
+
+def write_checkpoint(
+    directory: str | Path,
+    checkpoint: Checkpoint,
+    faults: FaultInjector | None = None,
+    fsync: bool = True,
+) -> Path:
+    """Atomically install ``checkpoint`` as ``<directory>/checkpoint``.
+
+    Crash points: ``checkpoint:before`` (nothing written),
+    ``checkpoint:temp-written`` (temp file complete, not yet renamed),
+    ``checkpoint:renamed`` (new checkpoint live, caller has not yet
+    truncated the WAL). All three leave a recoverable store.
+    """
+    faults = faults if faults is not None else FaultInjector.disabled()
+    directory = Path(directory)
+    final = directory / CHECKPOINT_NAME
+    temp = directory / (CHECKPOINT_NAME + ".tmp")
+    body = _body(checkpoint)
+    document = {
+        "format": CHECKPOINT_FORMAT,
+        "crc": zlib.crc32(_canonical(body)),
+        "body": body,
+    }
+    faults.on_call("checkpoint:before")
+    with open(temp, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, allow_nan=True)
+        fh.flush()
+        if fsync:
+            os.fsync(fh.fileno())
+    faults.on_call("checkpoint:temp-written")
+    os.replace(temp, final)
+    if fsync:
+        _fsync_directory(directory)
+    faults.on_call("checkpoint:renamed")
+    return final
+
+
+def read_checkpoint(directory: str | Path) -> Checkpoint | None:
+    """Load the checkpoint, or None when the store has never checkpointed.
+
+    A structurally damaged checkpoint raises :class:`RecoveryError`: the
+    write protocol makes torn checkpoints impossible, so damage here means
+    real corruption that silent fallback to an empty catalog would hide.
+    """
+    path = Path(directory) / CHECKPOINT_NAME
+    if not path.exists():
+        return None
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise RecoveryError(f"checkpoint {path} is not valid JSON: {exc}") from exc
+    if document.get("format") != CHECKPOINT_FORMAT:
+        raise RecoveryError(
+            f"checkpoint {path} has unsupported format {document.get('format')!r}"
+        )
+    body = document.get("body")
+    if not isinstance(body, dict):
+        raise RecoveryError(f"checkpoint {path} has no body")
+    if zlib.crc32(_canonical(body)) != document.get("crc"):
+        raise RecoveryError(f"checkpoint {path} failed its CRC check")
+    catalog = {
+        name: bat_from_payload(payload, name=name)
+        for name, payload in body.get("catalog", {}).items()
+    }
+    procs = {
+        name: base64.b64decode(blob)
+        for name, blob in body.get("procs", {}).items()
+    }
+    return Checkpoint(
+        seqno=int(body.get("seqno", 0)),
+        catalog=catalog,
+        procs=procs,
+        modules=list(body.get("modules", [])),
+    )
+
+
+def _fsync_directory(directory: Path) -> None:
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def pickle_definition(definition: Any) -> bytes:
+    """Pickle one MIL ProcDef AST for WAL/checkpoint storage."""
+    return pickle.dumps(definition)
+
+
+def checkpoint_from_state(
+    seqno: int,
+    catalog: Mapping[str, BAT],
+    definitions: Mapping[str, Any],
+    modules: Iterable[str],
+) -> Checkpoint:
+    """Build a Checkpoint from live kernel state (BATs are deep-copied)."""
+    return Checkpoint(
+        seqno=seqno,
+        catalog={name: bat.copy(name=name) for name, bat in catalog.items()},
+        procs={
+            name: pickle_definition(definition)
+            for name, definition in definitions.items()
+        },
+        modules=sorted(modules),
+    )

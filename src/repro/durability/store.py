@@ -1,0 +1,427 @@
+"""The durable catalog store: WAL + checkpoint + recovery.
+
+A :class:`DurableStore` owns one directory::
+
+    <store>/
+        checkpoint      atomic full-catalog snapshot (see checkpoint.py)
+        wal.log         append-only mutation log since that snapshot
+
+Mutations reach the store through two paths. *Auto-commit* operations
+(``persist``/``drop`` outside a transaction, PROC definitions, module
+registrations) are appended and fsynced individually. *Transactions* are
+group-committed: the kernel computes the catalog delta at commit time and
+the store writes ``begin`` + delta + ``commit`` as one batch, fsyncing
+after the commit marker — the WAL commit boundary of
+``MonetKernel.transaction()``.
+
+:meth:`DurableStore.recover` loads the checkpoint, replays committed WAL
+records (discarding any uncommitted batch), truncates torn or corrupt log
+tails, verifies the :mod:`repro.check` catalog invariants, and reports
+recovery-time metrics on a :class:`RecoveryReport`.
+"""
+
+from __future__ import annotations
+
+import base64
+import pickle
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.check.catalogcheck import check_catalog
+from repro.check.diagnostics import Diagnostic
+from repro.durability.checkpoint import (
+    Checkpoint,
+    checkpoint_from_state,
+    pickle_definition,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.durability.wal import (
+    WriteAheadLog,
+    bat_from_payload,
+    bat_to_payload,
+    read_records,
+    require_directory,
+)
+from repro.errors import CatalogCheckError, DurabilityError
+from repro.faults import FaultInjector, FaultPlan, resolve_injector
+from repro.monet.bat import BAT
+
+__all__ = [
+    "CatalogDelta",
+    "DurableStore",
+    "RecoveredState",
+    "RecoveryReport",
+    "WAL_FILE",
+]
+
+WAL_FILE = "wal.log"
+
+
+#: One catalog mutation inside a transaction delta:
+#: ``("persist", name, bat)`` or ``("drop", name, None)``.
+CatalogDelta = Sequence[tuple]
+
+
+@dataclass
+class RecoveryReport:
+    """Metrics and findings of one recovery pass."""
+
+    store: str
+    checkpoint_seqno: int = 0
+    checkpoint_bats: int = 0
+    wal_records: int = 0
+    records_replayed: int = 0
+    transactions_committed: int = 0
+    transactions_discarded: int = 0
+    aborts_seen: int = 0
+    truncated_bytes: int = 0
+    corruption: str | None = None
+    bats_recovered: int = 0
+    procs_recovered: int = 0
+    modules_expected: list[str] = field(default_factory=list)
+    duration_seconds: float = 0.0
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing had to be discarded or truncated."""
+        return (
+            self.truncated_bytes == 0
+            and self.transactions_discarded == 0
+            and not any(d.severity.name == "ERROR" for d in self.diagnostics)
+        )
+
+    def describe(self) -> str:
+        lines = [
+            f"recovery of {self.store}",
+            f"  checkpoint: seqno {self.checkpoint_seqno}, "
+            f"{self.checkpoint_bats} BAT(s)",
+            f"  wal: {self.wal_records} record(s), "
+            f"{self.records_replayed} replayed, "
+            f"{self.transactions_committed} txn(s) committed, "
+            f"{self.transactions_discarded} discarded, "
+            f"{self.aborts_seen} abort marker(s)",
+            f"  tail: {self.truncated_bytes} byte(s) truncated"
+            + (f" ({self.corruption})" if self.corruption else ""),
+            f"  recovered: {self.bats_recovered} BAT(s), "
+            f"{self.procs_recovered} PROC(s), "
+            f"modules expected: {self.modules_expected or '[]'}",
+            f"  invariants: {len(self.diagnostics)} finding(s)",
+            f"  took {self.duration_seconds * 1e3:.2f} ms",
+        ]
+        lines.extend(f"    {d}" for d in self.diagnostics)
+        return "\n".join(lines)
+
+
+@dataclass
+class RecoveredState:
+    """What :meth:`DurableStore.recover` hands back to the kernel."""
+
+    catalog: dict[str, BAT]
+    definitions: dict[str, Any]  # proc name -> ProcDef AST
+    modules: list[str]
+    next_txn: int
+    report: RecoveryReport
+
+
+class DurableStore:
+    """Write-ahead log + checkpoints for one Monet catalog.
+
+    Args:
+        path: store directory (created if missing).
+        faults: optional injector consulted at the named crash points
+            (``wal.append:*``, ``wal.commit:*``, ``checkpoint:*``).
+        fsync: set False to skip fsync calls (fast tests of replay logic).
+        auto_checkpoint: when set, :meth:`wants_checkpoint` turns True once
+            this many WAL records accumulate — the owning kernel then calls
+            :meth:`checkpoint` at its next safe point.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        faults: "FaultInjector | FaultPlan | None" = None,
+        fsync: bool = True,
+        auto_checkpoint: int | None = None,
+    ):
+        self.path = require_directory(path)
+        self.faults = resolve_injector(faults)
+        self._fsync = fsync
+        self.auto_checkpoint = auto_checkpoint
+        self._wal = WriteAheadLog(
+            self.path / WAL_FILE, faults=self.faults, fsync=fsync
+        )
+        self._seqno = 0
+        self._next_txn = 1
+        self._records_in_wal = 0
+        self._modules: set[str] = set()
+        self._opened = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def open(self) -> RecoveredState:
+        """Recover the on-disk state, then open the WAL for appending."""
+        state = self.recover()
+        self._seqno = state.report.checkpoint_seqno
+        self._next_txn = state.next_txn
+        self._records_in_wal = state.report.wal_records
+        self._modules = set(state.modules)
+        self._wal.open()
+        self._opened = True
+        return state
+
+    def close(self) -> None:
+        self._wal.close()
+        self._opened = False
+
+    @property
+    def wal_path(self) -> Path:
+        return self.path / WAL_FILE
+
+    def wal_size(self) -> int:
+        return self._wal.size()
+
+    @property
+    def records_since_checkpoint(self) -> int:
+        return self._records_in_wal
+
+    def wants_checkpoint(self) -> bool:
+        return (
+            self.auto_checkpoint is not None
+            and self._records_in_wal >= self.auto_checkpoint
+        )
+
+    # ------------------------------------------------------------------
+    # logging (write path)
+    # ------------------------------------------------------------------
+    def _require_open(self) -> None:
+        if not self._opened:
+            raise DurabilityError(
+                "store is not open for appending (call open() first)"
+            )
+
+    def log_persist(self, name: str, bat: BAT) -> None:
+        """Auto-commit record: full image of one persisted BAT."""
+        self._require_open()
+        self._wal.append(
+            {"op": "persist", "name": name, "bat": bat_to_payload(bat)}
+        )
+        self._records_in_wal += 1
+
+    def log_drop(self, name: str) -> None:
+        self._require_open()
+        self._wal.append({"op": "drop", "name": name})
+        self._records_in_wal += 1
+
+    def log_proc(self, name: str, definition: Any) -> None:
+        """Auto-commit record: one MIL PROC definition (pickled AST)."""
+        self._require_open()
+        blob = base64.b64encode(pickle_definition(definition)).decode("ascii")
+        self._wal.append({"op": "proc", "name": name, "def": blob})
+        self._records_in_wal += 1
+
+    def log_module(self, name: str) -> None:
+        """Auto-commit record: a MEL module registration marker."""
+        self._require_open()
+        if name in self._modules:
+            return
+        self._modules.add(name)
+        self._wal.append({"op": "module", "name": name})
+        self._records_in_wal += 1
+
+    def log_abort(self) -> int:
+        """Audit marker for a rolled-back transaction (nothing to undo:
+        transaction records are only written at commit)."""
+        self._require_open()
+        txn = self._next_txn
+        self._next_txn += 1
+        self._wal.append({"op": "abort", "txn": txn})
+        self._records_in_wal += 1
+        return txn
+
+    def commit(self, delta: CatalogDelta) -> int | None:
+        """Group-commit one transaction delta; fsync after the marker.
+
+        Returns the transaction id, or None for an empty delta (no-op
+        transactions leave no trace in the log).
+        """
+        self._require_open()
+        records = []
+        for entry in delta:
+            if entry[0] == "persist":
+                _, name, bat = entry
+                records.append(
+                    {"op": "persist", "name": name, "bat": bat_to_payload(bat)}
+                )
+            elif entry[0] == "drop":
+                records.append({"op": "drop", "name": entry[1]})
+            else:
+                raise DurabilityError(f"unknown delta op {entry[0]!r}")
+        if not records:
+            return None
+        txn = self._next_txn
+        self._next_txn += 1
+        self._wal.commit(txn, records)
+        self._records_in_wal += len(records) + 2
+        return txn
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint(
+        self,
+        catalog: Mapping[str, BAT],
+        definitions: Mapping[str, Any] | None = None,
+        modules: Iterable[str] = (),
+    ) -> int:
+        """Serialize the full state atomically, then truncate the WAL.
+
+        Crash-safe at every step: until the rename the old checkpoint +
+        full WAL are authoritative; after the rename the new checkpoint
+        subsumes the WAL, whose replay is idempotent until truncation.
+        Returns the new checkpoint seqno.
+        """
+        self._require_open()
+        self._seqno += 1
+        snapshot = checkpoint_from_state(
+            self._seqno,
+            catalog,
+            definitions or {},
+            set(modules) | self._modules,
+        )
+        write_checkpoint(self.path, snapshot, faults=self.faults, fsync=self._fsync)
+        self._wal.truncate()
+        self._records_in_wal = 0
+        self.faults.on_call("checkpoint:truncated")
+        return self._seqno
+
+    # ------------------------------------------------------------------
+    # recovery (read path)
+    # ------------------------------------------------------------------
+    def recover(self, dry_run: bool = False) -> RecoveredState:
+        """Rebuild the last committed state from checkpoint + WAL.
+
+        ``dry_run`` skips the physical truncation of torn/corrupt tails
+        (used by ``python -m repro.durability verify``, which must not
+        modify the store). Raises :class:`repro.errors.RecoveryError` for
+        an unreadable checkpoint and
+        :class:`repro.errors.CatalogCheckError` when the recovered catalog
+        violates the :mod:`repro.check` invariants.
+        """
+        started = time.perf_counter()
+        report = RecoveryReport(store=str(self.path))
+
+        snapshot = read_checkpoint(self.path) or Checkpoint()
+        report.checkpoint_seqno = snapshot.seqno
+        report.checkpoint_bats = len(snapshot.catalog)
+
+        catalog = dict(snapshot.catalog)
+        definitions = snapshot.definitions()
+        modules = set(snapshot.modules)
+
+        scan = read_records(self.wal_path)
+        report.wal_records = len(scan.records)
+        report.corruption = scan.corruption
+        report.truncated_bytes = scan.torn_bytes
+        if scan.torn_bytes and not dry_run:
+            self._truncate_tail(scan.valid_length)
+
+        max_txn = 0
+        pending: list[dict[str, Any]] | None = None
+        for record in scan.records:
+            op = record.get("op")
+            if op == "begin":
+                if pending is not None:
+                    report.transactions_discarded += 1
+                pending = []
+                max_txn = max(max_txn, int(record.get("txn", 0)))
+            elif op == "commit":
+                if pending is not None:
+                    for buffered in pending:
+                        self._apply(buffered, catalog, definitions, modules)
+                        report.records_replayed += 1
+                    report.transactions_committed += 1
+                    pending = None
+            elif op == "abort":
+                report.aborts_seen += 1
+                max_txn = max(max_txn, int(record.get("txn", 0)))
+            elif pending is not None:
+                pending.append(record)
+            else:
+                self._apply(record, catalog, definitions, modules)
+                report.records_replayed += 1
+        if pending is not None:
+            report.transactions_discarded += 1
+
+        report.bats_recovered = len(catalog)
+        report.procs_recovered = len(definitions)
+        report.modules_expected = sorted(modules)
+
+        invariants = check_catalog(catalog)
+        report.diagnostics = list(invariants)
+        report.duration_seconds = time.perf_counter() - started
+        invariants.raise_if_errors(
+            f"recovered catalog of {self.path}", CatalogCheckError
+        )
+        return RecoveredState(
+            catalog=catalog,
+            definitions=definitions,
+            modules=sorted(modules),
+            next_txn=max_txn + 1,
+            report=report,
+        )
+
+    def _truncate_tail(self, valid_length: int) -> None:
+        was_open = self._opened
+        self._wal.truncate(max(valid_length, 0) or None)
+        if not was_open:
+            self._wal.close()
+
+    @staticmethod
+    def _apply(
+        record: dict[str, Any],
+        catalog: dict[str, BAT],
+        definitions: dict[str, Any],
+        modules: set[str],
+    ) -> None:
+        """Replay one committed record; idempotent by construction
+        (persist carries a full image, drop tolerates absence)."""
+        op = record.get("op")
+        if op == "persist":
+            name = record["name"]
+            catalog[name] = bat_from_payload(record["bat"], name=name)
+        elif op == "drop":
+            catalog.pop(record["name"], None)
+        elif op == "proc":
+            definitions[record["name"]] = pickle.loads(
+                base64.b64decode(record["def"])
+            )
+        elif op == "module":
+            modules.add(record["name"])
+        # unknown ops are skipped: a newer writer may add record types that
+        # an older reader can safely ignore
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def compact(self) -> RecoveryReport:
+        """Offline compaction: recover, then fold the WAL into a fresh
+        checkpoint (``python -m repro.durability compact``)."""
+        state = self.recover()
+        was_open = self._opened
+        if not was_open:
+            self._wal.open()
+            self._opened = True
+        self._seqno = state.report.checkpoint_seqno
+        self._modules = set(state.modules)
+        try:
+            self.checkpoint(state.catalog, state.definitions, state.modules)
+        finally:
+            if not was_open:
+                self.close()
+        return state.report

@@ -83,6 +83,23 @@ class InjectedFault(ReproError):
         super().__init__(message)
 
 
+class SimulatedCrash(BaseException):
+    """An injected process kill (``kind="kill"`` fault at a crash point).
+
+    Deliberately a :class:`BaseException`, not a :class:`ReproError`: a real
+    ``kill -9`` is not catchable, so generic ``except Exception`` recovery
+    paths (retry loops, degradation handlers) must not absorb it. Only a
+    chaos harness that models the process boundary should catch it, discard
+    the "dead" process state, and drive recovery from disk.
+    """
+
+    def __init__(self, message: str, site: str | None = None):
+        self.site = site
+        if site is not None:
+            message = f"{message} (at {site})"
+        super().__init__(message)
+
+
 class InjectedTransientError(InjectedFault, TransientError):
     """An injected fault that models a recoverable glitch."""
 
@@ -101,6 +118,23 @@ class AtomTypeError(MonetError, PermanentError):
 
 class BatError(MonetError, PermanentError):
     """Structural misuse of a BAT (arity, alignment, missing key)."""
+
+
+class DurabilityError(MonetError):
+    """Error in the durability layer (WAL, checkpoints, recovery)."""
+
+
+class WalCorruptionError(DurabilityError):
+    """The write-ahead log is structurally damaged beyond safe truncation."""
+
+
+class RecoveryError(DurabilityError, PermanentError):
+    """Crash recovery could not reconstruct a consistent catalog.
+
+    Raised when the checkpoint is unreadable or the recovered catalog fails
+    the :mod:`repro.check` invariants — replaying the same store will fail
+    the same way, so the error is permanent.
+    """
 
 
 class MilError(MonetError):
@@ -214,6 +248,14 @@ class DiagnosticError(PermanentError):
             details = "\n".join(f"  {d}" for d in self.diagnostics)
             message = f"{message}\n{details}"
         super().__init__(message)
+
+
+class CatalogCheckError(DiagnosticError, MonetError):
+    """Catalog invariant checking found error-severity diagnostics.
+
+    Raised by crash recovery before a restored catalog is opened for use,
+    and available standalone through :func:`repro.check.check_catalog`.
+    """
 
 
 class MilCheckError(DiagnosticError, MilError):

@@ -22,6 +22,7 @@ import numpy as np
 from repro.errors import (
     InjectedPermanentError,
     InjectedTransientError,
+    SimulatedCrash,
 )
 from repro.faults.plan import FaultPlan, FaultSpec
 
@@ -122,10 +123,11 @@ class FaultInjector:
     # call-path hooks (fail / delay)
     # ------------------------------------------------------------------
     def on_call(self, site: str) -> None:
-        """Hook before a guarded call: may sleep (delay) or raise (fail)."""
+        """Hook before a guarded call: may sleep (delay), raise (fail), or
+        simulate a process kill (kill)."""
         if self.plan is None:
             return
-        specs = self._matching(site, ("fail", "delay"))
+        specs = self._matching(site, ("fail", "delay", "kill"))
         if not specs:
             return
         invocation = self._next_invocation(site)
@@ -137,6 +139,11 @@ class FaultInjector:
                 if spec.delay > 0:
                     self._sleep(spec.delay)
                 continue
+            if spec.kind == "kill":
+                self._log(site, spec, invocation, "crash")
+                raise SimulatedCrash(
+                    spec.message or "injected process kill", site=site
+                )
             message = spec.message or (
                 f"injected {'transient' if spec.transient else 'permanent'} "
                 f"fault at {site}"

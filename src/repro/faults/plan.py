@@ -25,8 +25,11 @@ __all__ = ["FaultSpec", "FaultPlan", "FAULT_KINDS"]
 #: * ``delay``   — sleep ``delay`` seconds before the call proceeds,
 #: * ``drop``    — remove the data item (stream / frame / overlay) entirely,
 #: * ``corrupt`` — damage the data in a kind-appropriate way (audio
-#:   dropouts, frozen frames, garbled overlay text, noisy streams).
-FAULT_KINDS = ("fail", "delay", "drop", "corrupt")
+#:   dropouts, frozen frames, garbled overlay text, noisy streams),
+#: * ``kill``    — raise :class:`repro.errors.SimulatedCrash`, modelling a
+#:   process kill at a named WAL/checkpoint crash point (the chaos harness
+#:   in :mod:`repro.durability.chaos` recovers from disk afterwards).
+FAULT_KINDS = ("fail", "delay", "drop", "corrupt", "kill")
 
 
 @dataclass(frozen=True)
@@ -117,6 +120,7 @@ class FaultPlan:
                 "delay": f"delay={spec.delay}s",
                 "drop": "",
                 "corrupt": f"severity={spec.severity}",
+                "kill": "",
             }[spec.kind]
             cap = f" max={spec.max_triggers}" if spec.max_triggers else ""
             lines.append(

@@ -55,6 +55,17 @@ NAMED_PLANS: dict[str, FaultPlan] = {
             FaultSpec(site="kernel.command:*", kind="fail", rate=0.05, transient=True),
         ),
     ),
+    # One simulated process kill mid-commit: WAL records written, commit
+    # marker not yet — recovery must discard the in-flight transaction.
+    # Exercised by tests/test_crash_recovery.py and the crash-recovery CI
+    # job (the kill-point sweep covers every other crash site).
+    "crash-commit": FaultPlan(
+        seed=11,
+        name="crash-commit",
+        specs=(
+            FaultSpec(site="wal.commit:mid", kind="kill", max_triggers=1),
+        ),
+    ),
     # The full broadcast-from-hell: audio dropouts, frame loss, garbled
     # chyrons, stream corruption, transient kernel/extractor failures.
     "chaos": FaultPlan(

@@ -14,6 +14,7 @@ is what the feature-extraction extensions use for bulk processing.
 
 from __future__ import annotations
 
+import copy as _copy
 import threading
 from typing import Any, Callable, Iterable, Iterator
 
@@ -25,6 +26,23 @@ from repro.monet.atoms import ATOMS, Atom
 __all__ = ["BAT", "new_bat"]
 
 _NUMERIC_ATOMS = {"oid", "void", "int", "flt", "dbl"}
+
+#: Object-dtype atoms whose values are nevertheless immutable: sharing the
+#: value between a live BAT and a snapshot copy cannot leak mutations.
+_IMMUTABLE_OBJECT_ATOMS = {"str", "chr"}
+
+
+def _copy_column(values: list[Any], atom: Atom) -> list[Any]:
+    """Snapshot one column so later mutation of the source cannot leak.
+
+    Numeric/bool/string atoms hold immutable values, so a new list is
+    enough; object-dtype atoms (``any`` and extension types) may hold
+    mutable Python values, which must be deep-copied for the snapshot to
+    be genuinely independent.
+    """
+    if atom.dtype == np.dtype(object) and atom.name not in _IMMUTABLE_OBJECT_ATOMS:
+        return [_copy.deepcopy(v) for v in values]
+    return list(values)
 
 #: Sentinel distinguishing ``select(v)`` from ``select(lo, hi)``.
 _MISSING = object()
@@ -206,10 +224,13 @@ class BAT:
         return out
 
     def copy(self, name: str | None = None) -> "BAT":
+        """An independent copy: mutations through either BAT never leak
+        into the other, even for mutable object-atom values."""
         out = BAT(self.head_type, self.tail_type, name=name)
-        out._head = list(self._head)
-        out._tail = list(self._tail)
-        out._next_oid = self._next_oid
+        with self._lock:
+            out._head = _copy_column(self._head, self._head_atom)
+            out._tail = _copy_column(self._tail, self._tail_atom)
+            out._next_oid = self._next_oid
         return out
 
     def restore(self, snapshot: "BAT") -> "BAT":
@@ -228,10 +249,61 @@ class BAT:
                 f"snapshot BAT[{snapshot.head_type},{snapshot.tail_type}]"
             )
         with self._lock:
-            self._head = list(snapshot._head)
-            self._tail = list(snapshot._tail)
+            self._head = _copy_column(snapshot._head, snapshot._head_atom)
+            self._tail = _copy_column(snapshot._tail, snapshot._tail_atom)
             self._next_oid = snapshot._next_oid
         return self
+
+    def equals(self, other: "BAT") -> bool:
+        """Structural equality: same atom types, columns, and oid counter.
+
+        NaN tails compare equal to NaN (null semantics), matching
+        :meth:`find`. Used by the durability layer to compute transaction
+        deltas and by the chaos harness to compare recovered catalogs.
+        """
+        if (self.head_type, self.tail_type) != (other.head_type, other.tail_type):
+            return False
+        if len(self) != len(other) or self._next_oid != other._next_oid:
+            return False
+        return all(
+            _eq(a, b) for a, b in zip(self._head, other._head)
+        ) and all(_eq(a, b) for a, b in zip(self._tail, other._tail))
+
+    def columns(self) -> tuple[list[Any], list[Any], int]:
+        """Copies of (head column, tail column, next-oid counter).
+
+        The serialization view used by the WAL/checkpoint writers.
+        """
+        with self._lock:
+            return list(self._head), list(self._tail), self._next_oid
+
+    @classmethod
+    def from_columns(
+        cls,
+        head_type: str,
+        tail_type: str,
+        head: Iterable[Any],
+        tail: Iterable[Any],
+        next_oid: int = 0,
+        name: str | None = None,
+    ) -> "BAT":
+        """Rebuild a BAT from serialized columns (the recovery path).
+
+        Values are re-coerced through the atom types, so a damaged log
+        record that decodes to ill-typed values raises
+        :class:`repro.errors.AtomTypeError` here instead of corrupting the
+        catalog silently.
+        """
+        out = cls(head_type, tail_type, name=name)
+        out._head = [out._head_atom.coerce(h) for h in head]
+        out._tail = [out._tail_atom.coerce(t) for t in tail]
+        if len(out._head) != len(out._tail):
+            raise BatError(
+                f"column length mismatch rebuilding {name or '<transient>'}: "
+                f"{len(out._head)} heads, {len(out._tail)} tails"
+            )
+        out._next_oid = int(next_oid)
+        return out
 
     def slice(self, lo: int, hi: int) -> "BAT":
         """Positional slice [lo, hi) preserving types."""

@@ -8,11 +8,13 @@ at the physical level" of the paper's three-level architecture.
 from __future__ import annotations
 
 import math
+import threading
 import time
 from contextlib import contextmanager
-from typing import Any, Callable, Iterator, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
 
-from repro.errors import DeadlineExceeded, MonetError, annotate
+from repro.errors import DeadlineExceeded, MonetError, SimulatedCrash, annotate
 from repro.faults import FaultInjector, FaultPlan, resolve_injector
 from repro.monet.atoms import ATOMS
 from repro.monet.bat import BAT
@@ -20,6 +22,9 @@ from repro.monet.mil import MilInterpreter
 from repro.monet.module import CommandSignature, MonetModule
 from repro.monet.parallel import ParallelExecutor
 from repro.resilience import Deadline, FailureReport, ResiliencePolicy
+
+if TYPE_CHECKING:  # imported lazily at runtime: durability layers on monet
+    from repro.durability.store import DurableStore, RecoveryReport
 
 __all__ = ["MonetKernel"]
 
@@ -47,6 +52,16 @@ class MonetKernel:
     and deadlines guarding those invocations. Transient command failures are
     retried with exponential backoff and recoveries are recorded as
     :class:`FailureReport` entries on :attr:`failures`.
+
+    ``store`` opts into durability: pass a directory path (or a configured
+    :class:`repro.durability.DurableStore`) and the kernel recovers the
+    catalog, PROC definitions, and expected module list from it at startup,
+    then write-ahead-logs every catalog mutation. ``transaction()`` becomes
+    the WAL commit boundary: the delta against the entry snapshot is
+    group-committed (fsynced) when the outermost transaction exits cleanly.
+    The :class:`RecoveryReport` of the startup recovery is on
+    :attr:`recovery`; modules named in :attr:`expected_modules` must be
+    re-loaded by the caller (module code cannot be serialized).
     """
 
     def __init__(
@@ -55,6 +70,7 @@ class MonetKernel:
         check: str = "error",
         faults: "FaultInjector | FaultPlan | None" = None,
         resilience: ResiliencePolicy | None = None,
+        store: "DurableStore | str | Path | None" = None,
     ):
         self._catalog: dict[str, BAT] = {}
         self._modules: dict[str, MonetModule] = {}
@@ -66,6 +82,14 @@ class MonetKernel:
         #: Structured FailureReports (retries, rollbacks) in event order.
         self.failures: list[FailureReport] = []
         self._active_deadline: Deadline | None = None
+        #: Savepoint stack: snapshot per open ``transaction()`` scope.
+        self._txn_stack: list[dict[str, BAT]] = []
+        self._txn_owner: int | None = None
+        self._in_recovery = False
+        #: RecoveryReport of the startup recovery (None without a store).
+        self.recovery: RecoveryReport | None = None
+        #: Module names the recovered state expects the caller to re-load.
+        self.expected_modules: list[str] = []
         self._install_builtins()
         self._mil = MilInterpreter(
             commands=self._commands,
@@ -75,15 +99,32 @@ class MonetKernel:
             check=check,
             call_guard=self._guarded_command,
             on_statement=self._deadline_tick,
+            on_define=self._on_proc_defined,
         )
+        self._store: DurableStore | None = None
+        if store is not None:
+            from repro.durability.store import DurableStore as _Store
+
+            if isinstance(store, _Store):
+                self._store = store
+            else:
+                self._store = _Store(store, faults=self.faults)
+            self._recover_from_store()
 
     # ------------------------------------------------------------------
     # catalog
     # ------------------------------------------------------------------
     def persist(self, name: str, bat: BAT) -> BAT:
-        """Store a BAT in the catalog under ``name`` (overwriting)."""
+        """Store a BAT in the catalog under ``name`` (overwriting).
+
+        With a durable store and no open transaction this is auto-committed:
+        the full BAT image is WAL-logged and fsynced before returning.
+        """
         bat.name = name
         self._catalog[name] = bat
+        if self._logging_autocommit():
+            self._store.log_persist(name, bat)
+            self._maybe_checkpoint()
         return bat
 
     def bat(self, name: str) -> BAT:
@@ -96,6 +137,17 @@ class MonetKernel:
         if name not in self._catalog:
             raise MonetError(f"no BAT named {name!r} in the catalog")
         del self._catalog[name]
+        if self._logging_autocommit():
+            self._store.log_drop(name)
+            self._maybe_checkpoint()
+
+    def _logging_autocommit(self) -> bool:
+        """True when a mutation outside any transaction must hit the WAL."""
+        return (
+            self._store is not None
+            and not self._in_recovery
+            and not self._txn_stack
+        )
 
     def catalog_names(self) -> list[str]:
         return sorted(self._catalog)
@@ -131,16 +183,36 @@ class MonetKernel:
 
     @contextmanager
     def transaction(self) -> Iterator[dict[str, BAT]]:
-        """Catalog snapshot/rollback scope.
+        """Catalog snapshot/rollback scope — and the WAL commit boundary.
 
         On any exception the catalog is restored to its state at entry, so
         a failed MIL ``PROC`` or preprocessor run cannot leave half-written
         BATs behind; the exception then propagates, annotated.
+
+        Scopes nest as savepoints: an inner exception rolls back only the
+        inner scope's changes. With a durable store, the catalog delta is
+        computed and group-committed to the WAL when the *outermost* scope
+        exits cleanly — inner commits release their savepoint without any
+        I/O, and a rollback writes only an audit ``abort`` marker (nothing
+        to undo: transaction records never reach the log before commit).
+        Transactions are single-owner: opening one while another thread's
+        transaction is active raises :class:`MonetError`.
         """
+        me = threading.get_ident()
+        if self._txn_stack and self._txn_owner != me:
+            raise MonetError(
+                "a transaction is already active on another thread; "
+                "concurrent transactions are not supported"
+            )
         saved = self.snapshot()
+        self._txn_stack.append(saved)
+        self._txn_owner = me
         try:
             yield saved
         except BaseException as exc:
+            self._txn_stack.pop()
+            if not self._txn_stack:
+                self._txn_owner = None
             self.restore(saved)
             self.failures.append(
                 FailureReport.from_exception(
@@ -148,8 +220,35 @@ class MonetKernel:
                     detail=f"catalog restored to {len(saved)} BAT(s)",
                 )
             )
+            if (
+                self._store is not None
+                and not self._txn_stack
+                and not self._in_recovery
+                and not isinstance(exc, SimulatedCrash)
+            ):
+                self._store.log_abort()
             annotate(exc, f"catalog rolled back to snapshot of {len(saved)} BAT(s)")
             raise
+        self._txn_stack.pop()
+        if self._txn_stack:
+            return  # inner savepoint released; the outermost scope commits
+        self._txn_owner = None
+        if self._store is not None and not self._in_recovery:
+            self._store.commit(self._catalog_delta(saved))
+            self._maybe_checkpoint()
+
+    def _catalog_delta(self, saved: dict[str, BAT]) -> list[tuple]:
+        """Mutations since ``saved``: full images of new/changed BATs plus
+        drops — the records one WAL commit batch carries."""
+        delta: list[tuple] = []
+        for name, bat in self._catalog.items():
+            old = saved.get(name)
+            if old is None or not old.equals(bat):
+                delta.append(("persist", name, bat))
+        for name in saved:
+            if name not in self._catalog:
+                delta.append(("drop", name))
+        return delta
 
     # ------------------------------------------------------------------
     # modules & commands
@@ -170,6 +269,8 @@ class MonetKernel:
             self._commands[name] = fn
         self._signatures.update(module.signatures())
         self._modules[module.name] = module
+        if self._store is not None and not self._in_recovery:
+            self._store.log_module(module.name)
 
     def register_command(
         self,
@@ -251,6 +352,68 @@ class MonetKernel:
         out = self.failures
         self.failures = []
         return out
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    @property
+    def store(self) -> DurableStore | None:
+        return self._store
+
+    def _recover_from_store(self) -> None:
+        assert self._store is not None
+        state = self._store.open()
+        self._in_recovery = True
+        try:
+            for name, bat in state.catalog.items():
+                bat.name = name
+                self._catalog[name] = bat
+            for definition in state.definitions.values():
+                # static checks are off: the modules these PROCs call may
+                # not be re-loaded yet (see ``expected_modules``)
+                self._mil.define_proc(definition, check="off")
+        finally:
+            self._in_recovery = False
+        self.recovery = state.report
+        self.expected_modules = state.modules
+
+    def _on_proc_defined(self, proc: Any) -> None:
+        """WAL-log every PROC definition (interpreter ``on_define`` hook).
+
+        PROC definitions are not rolled back with the BAT catalog, so they
+        are logged immediately even inside an open transaction.
+        """
+        if self._store is None or self._in_recovery:
+            return
+        self._store.log_proc(proc.name, proc.definition)
+        self._maybe_checkpoint()
+
+    def checkpoint(self) -> int:
+        """Fold the WAL into a fresh atomic checkpoint; returns its seqno."""
+        if self._store is None:
+            raise MonetError("kernel has no durable store to checkpoint")
+        if self._txn_stack:
+            raise MonetError("cannot checkpoint inside an open transaction")
+        definitions = {
+            name: procedure.definition
+            for name, procedure in self._mil.procedures.items()
+        }
+        return self._store.checkpoint(
+            self._catalog, definitions, self.module_names()
+        )
+
+    def _maybe_checkpoint(self) -> None:
+        if (
+            self._store is not None
+            and not self._txn_stack
+            and self._store.wants_checkpoint()
+        ):
+            self.checkpoint()
+
+    def close(self) -> None:
+        """Release the durable store's WAL file handle (no-op otherwise)."""
+        if self._store is not None:
+            self._store.close()
 
     # ------------------------------------------------------------------
     # resilience guards

@@ -517,6 +517,7 @@ class MilInterpreter:
         check: str = "error",
         call_guard: Callable[[str, Callable[..., Any], list[Any]], Any] | None = None,
         on_statement: Callable[[], None] | None = None,
+        on_define: Callable[["MilProcedure"], None] | None = None,
     ):
         self._commands = commands
         self._globals = _Scope(globals_scope)
@@ -529,6 +530,8 @@ class MilInterpreter:
         self._call_guard = call_guard or (lambda name, fn, args: fn(*args))
         #: Per-statement hook (the kernel's deadline tick).
         self._on_statement = on_statement
+        #: Post-registration hook (the kernel's WAL logging of PROC defs).
+        self._on_define = on_define
         #: Name of the PROC currently executing (for PARALLEL context).
         self._current_proc: str | None = None
         #: Procs of the program currently being run (forward references are
@@ -557,7 +560,10 @@ class MilInterpreter:
             self._pending_procs = outer_pending
 
     def define_proc(
-        self, definition: "ProcDef | MilProcedure", source: str | None = None
+        self,
+        definition: "ProcDef | MilProcedure",
+        source: str | None = None,
+        check: str | None = None,
     ) -> MilProcedure:
         """Register a PROC, statically checking it first.
 
@@ -565,11 +571,14 @@ class MilInterpreter:
         :class:`repro.errors.MilCheckError` and the procedure is NOT
         registered; ``check="warn"`` collects diagnostics without raising;
         ``check="off"`` skips analysis. All findings land in
-        ``self.diagnostics``.
+        ``self.diagnostics``. ``check`` overrides the interpreter's mode
+        for this one definition (crash recovery replays WAL-logged PROCs
+        with ``check="off"`` because their modules may not be reloaded yet).
         """
+        mode = self._check if check is None else check
         if isinstance(definition, MilProcedure):
             definition = definition.definition
-        if self._check != "off":
+        if mode != "off":
             # imported lazily: repro.check.milcheck imports this module
             from repro.check.milcheck import MilChecker
             from repro.errors import MilCheckError
@@ -582,12 +591,14 @@ class MilInterpreter:
             )
             report = checker.check_proc(definition, source=source)
             self.diagnostics.extend(report)
-            if self._check == "error":
+            if mode == "error":
                 report.raise_if_errors(
                     f"PROC {definition.name}", MilCheckError
                 )
         proc = MilProcedure(definition)
         self._procs[definition.name] = proc
+        if self._on_define is not None:
+            self._on_define(proc)
         return proc
 
     def call(self, proc_name: str, args: Sequence[Any]) -> Any:

@@ -207,6 +207,15 @@ class CircuitBreaker:
             self._state = self.CLOSED
             self._opened_at = None
 
+    def reset(self) -> None:
+        """Operator re-arm: close the breaker and forget failure history.
+
+        Unlike the half-open trial, this is unconditional — use it after a
+        recovery/deploy when the operator knows the underlying extractor is
+        healthy again and the breaker should not wait out its timeout.
+        """
+        self.record_success()
+
     def record_failure(self) -> None:
         with self._lock:
             self._consecutive_failures += 1

@@ -1,0 +1,434 @@
+"""Durability: WAL codec, checkpoints, recovery edge cases, durable kernel."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.check import check_catalog
+from repro.durability import (
+    Checkpoint,
+    DurableStore,
+    WriteAheadLog,
+    read_checkpoint,
+    read_records,
+    write_checkpoint,
+)
+from repro.durability.__main__ import main as durability_main
+from repro.durability.wal import (
+    MAGIC,
+    bat_from_payload,
+    bat_to_payload,
+    decode_value,
+    encode_record,
+    encode_value,
+)
+from repro.errors import MonetError, RecoveryError
+from repro.monet.bat import BAT
+from repro.monet.kernel import MonetKernel
+
+
+def lap_bat(name=None):
+    return BAT.from_columns(
+        "void", "dbl", [0, 1, 2], [78.1, 77.9, 78.4], next_oid=3, name=name
+    )
+
+
+# ---------------------------------------------------------------------------
+# codec
+# ---------------------------------------------------------------------------
+
+
+class TestCodec:
+    def test_primitives_stay_json_native(self):
+        for value in (None, True, 3, 2.5, "monza"):
+            assert encode_value(value) == value
+            assert decode_value(encode_value(value)) == value
+
+    def test_numpy_scalars_become_items(self):
+        assert encode_value(np.float64(1.5)) == 1.5
+        assert encode_value(np.int64(7)) == 7
+
+    def test_opaque_values_roundtrip_via_pickle(self):
+        value = {"nested": [1, 2, {"deep": "state"}]}
+        encoded = encode_value(value)
+        assert "__pickle__" in encoded
+        assert decode_value(encoded) == value
+
+    def test_nan_tail_roundtrips(self):
+        bat = BAT.from_columns("void", "dbl", [0, 1], [1.0, math.nan], next_oid=2)
+        back = bat_from_payload(bat_to_payload(bat))
+        assert back.equals(bat)
+
+    def test_bat_payload_roundtrip(self):
+        bat = lap_bat()
+        back = bat_from_payload(bat_to_payload(bat), name="laps")
+        assert back.equals(bat)
+        assert back.name == "laps"
+        assert np.array_equal(back.tail_array(), bat.tail_array())
+
+
+# ---------------------------------------------------------------------------
+# WAL scanning + tail damage
+# ---------------------------------------------------------------------------
+
+
+class TestWalScan:
+    def _write(self, path, records):
+        wal = WriteAheadLog(path, fsync=False)
+        wal.open()
+        for record in records:
+            wal.append(record)
+        wal.close()
+        return path
+
+    def test_missing_and_empty_files_scan_clean(self, tmp_path):
+        scan = read_records(tmp_path / "absent.log")
+        assert scan.records == [] and scan.corruption is None
+        empty = tmp_path / "empty.log"
+        empty.write_bytes(b"")
+        assert read_records(empty).records == []
+
+    def test_torn_final_record_is_detected_and_bounded(self, tmp_path):
+        path = self._write(
+            tmp_path / "wal.log",
+            [{"op": "drop", "name": "a"}, {"op": "drop", "name": "b"}],
+        )
+        data = path.read_bytes()
+        path.write_bytes(data[:-3])  # tear the last record
+        scan = read_records(path)
+        assert [r["name"] for r in scan.records] == ["a"]
+        assert "torn" in scan.corruption
+        assert scan.torn_bytes > 0
+
+    def test_corrupt_checksum_mid_log_discards_the_tail(self, tmp_path):
+        path = self._write(
+            tmp_path / "wal.log",
+            [{"op": "drop", "name": n} for n in ("a", "b", "c")],
+        )
+        data = bytearray(path.read_bytes())
+        first = len(MAGIC) + len(encode_record({"op": "drop", "name": "a"}))
+        data[first + 10] ^= 0xFF  # flip a byte inside record "b"
+        path.write_bytes(bytes(data))
+        scan = read_records(path)
+        # record "c" is intact on disk but untrustworthy past the damage
+        assert [r["name"] for r in scan.records] == ["a"]
+        assert "checksum mismatch" in scan.corruption
+
+
+# ---------------------------------------------------------------------------
+# checkpoints
+# ---------------------------------------------------------------------------
+
+
+class TestCheckpoint:
+    def test_roundtrip(self, tmp_path):
+        checkpoint = Checkpoint(seqno=4, catalog={"laps": lap_bat("laps")})
+        write_checkpoint(tmp_path, checkpoint, fsync=False)
+        back = read_checkpoint(tmp_path)
+        assert back.seqno == 4
+        assert back.catalog["laps"].equals(checkpoint.catalog["laps"])
+
+    def test_missing_checkpoint_is_none(self, tmp_path):
+        assert read_checkpoint(tmp_path) is None
+
+    def test_damaged_checkpoint_raises(self, tmp_path):
+        write_checkpoint(tmp_path, Checkpoint(seqno=1), fsync=False)
+        target = tmp_path / "checkpoint"
+        target.write_text(target.read_text().replace('"seqno": 1', '"seqno": 2'))
+        with pytest.raises(RecoveryError, match="CRC"):
+            read_checkpoint(tmp_path)
+
+
+# ---------------------------------------------------------------------------
+# recovery edge cases
+# ---------------------------------------------------------------------------
+
+
+class TestRecovery:
+    def test_empty_store_recovers_to_nothing(self, tmp_path):
+        state = DurableStore(tmp_path / "s", fsync=False).recover()
+        assert state.catalog == {} and state.next_txn == 1
+        assert state.report.clean
+
+    def test_wal_only_recovery(self, tmp_path):
+        store = DurableStore(tmp_path / "s", fsync=False)
+        store.open()
+        store.log_persist("laps", lap_bat())
+        store.close()
+        state = DurableStore(tmp_path / "s", fsync=False).recover()
+        assert state.catalog["laps"].equals(lap_bat())
+        assert state.report.checkpoint_seqno == 0
+
+    def test_checkpoint_only_recovery(self, tmp_path):
+        store = DurableStore(tmp_path / "s", fsync=False)
+        store.open()
+        store.log_persist("laps", lap_bat())
+        store.checkpoint({"laps": lap_bat("laps")})
+        store.close()
+        state = DurableStore(tmp_path / "s", fsync=False).recover()
+        assert state.report.wal_records == 0
+        assert state.catalog["laps"].equals(lap_bat())
+
+    def test_committed_transaction_replays(self, tmp_path):
+        store = DurableStore(tmp_path / "s", fsync=False)
+        store.open()
+        txn = store.commit(
+            [("persist", "laps", lap_bat()), ("drop", "ghost")]
+        )
+        store.close()
+        state = DurableStore(tmp_path / "s", fsync=False).recover()
+        assert txn == 1
+        assert state.report.transactions_committed == 1
+        assert state.catalog["laps"].equals(lap_bat())
+        assert state.next_txn == 2
+
+    def test_uncommitted_transaction_is_discarded(self, tmp_path):
+        store = DurableStore(tmp_path / "s", fsync=False)
+        store.open()
+        store._wal.append({"op": "begin", "txn": 9})
+        store._wal.append(
+            {"op": "persist", "name": "laps", "bat": bat_to_payload(lap_bat())}
+        )
+        store.close()  # no commit marker: the "process" died mid-commit
+        state = DurableStore(tmp_path / "s", fsync=False).recover()
+        assert state.catalog == {}
+        assert state.report.transactions_discarded == 1
+        assert state.next_txn == 10  # txn ids never reused after recovery
+
+    def test_duplicate_replay_is_idempotent(self, tmp_path):
+        # checkpoint renamed but WAL not yet truncated: every WAL record is
+        # already folded into the checkpoint and must replay harmlessly
+        store = DurableStore(tmp_path / "s", fsync=False)
+        store.open()
+        store.log_persist("laps", lap_bat())
+        store.log_persist("ghost", lap_bat())
+        store.log_drop("ghost")
+        write_checkpoint(
+            store.path,
+            Checkpoint(seqno=1, catalog={"laps": lap_bat("laps")}),
+            fsync=False,
+        )
+        store.close()  # killed before the WAL truncation
+        for _ in range(2):  # recovery itself must also be re-runnable
+            state = DurableStore(tmp_path / "s", fsync=False).recover()
+            assert sorted(state.catalog) == ["laps"]
+            assert state.catalog["laps"].equals(lap_bat())
+
+    def test_torn_tail_is_truncated_on_recovery(self, tmp_path):
+        store = DurableStore(tmp_path / "s", fsync=False)
+        store.open()
+        store.log_persist("laps", lap_bat())
+        store.log_drop("other")
+        store.close()
+        wal = store.wal_path
+        wal.write_bytes(wal.read_bytes()[:-4])
+        state = DurableStore(tmp_path / "s", fsync=False).recover()
+        assert state.report.truncated_bytes > 0
+        assert sorted(state.catalog) == ["laps"]
+        # physical truncation happened: a rescan sees no corruption
+        assert read_records(wal).corruption is None
+
+    def test_dry_run_leaves_the_torn_tail_in_place(self, tmp_path):
+        store = DurableStore(tmp_path / "s", fsync=False)
+        store.open()
+        store.log_persist("laps", lap_bat())
+        store.close()
+        wal = store.wal_path
+        damaged = wal.read_bytes()[:-4]
+        wal.write_bytes(damaged)
+        DurableStore(tmp_path / "s", fsync=False).recover(dry_run=True)
+        assert wal.read_bytes() == damaged
+
+    def test_recovery_report_metrics(self, tmp_path):
+        store = DurableStore(tmp_path / "s", fsync=False)
+        store.open()
+        store.log_persist("laps", lap_bat())
+        store.commit([("persist", "times", lap_bat())])
+        store.close()
+        report = DurableStore(tmp_path / "s", fsync=False).recover().report
+        assert report.wal_records == 4  # persist + begin/persist/commit
+        assert report.records_replayed == 2
+        assert report.bats_recovered == 2
+        assert report.duration_seconds > 0
+        assert "recovery of" in report.describe()
+
+    def test_recovered_catalog_runs_invariants(self, tmp_path):
+        report = check_catalog({"laps": lap_bat("laps")})
+        assert not list(report)
+        broken = lap_bat("bad")
+        broken._tail.append(99.0)  # misaligned columns
+        findings = check_catalog({"bad": broken})
+        assert any(d.code == "CAT002" for d in findings)
+
+    def test_group_alignment_invariant(self, tmp_path):
+        a = BAT.from_columns("void", "str", [0], ["e1"], next_oid=1)
+        b = BAT.from_columns("void", "str", [], [], next_oid=0)
+        findings = check_catalog(
+            {"meta_event_event_id": a, "meta_event_kind": b}
+        )
+        assert any(d.code == "CAT005" for d in findings)
+
+
+# ---------------------------------------------------------------------------
+# the durable kernel
+# ---------------------------------------------------------------------------
+
+
+class TestDurableKernel:
+    def test_persist_drop_and_proc_survive_restart(self, tmp_path):
+        kernel = MonetKernel(store=tmp_path / "s")
+        kernel.persist("laps", lap_bat())
+        kernel.persist("doomed", lap_bat())
+        kernel.drop("doomed")
+        kernel.run("PROC best(BAT[void,dbl] l) : dbl := { RETURN l.min; }")
+        kernel.close()
+
+        revived = MonetKernel(store=tmp_path / "s")
+        assert revived.catalog_names() == ["laps"]
+        assert revived.bat("laps").equals(lap_bat())
+        assert "best" in revived.procedures()
+        assert revived.call("best", [revived.bat("laps")]) == pytest.approx(77.9)
+        revived.close()
+
+    def test_transaction_is_the_commit_boundary(self, tmp_path):
+        kernel = MonetKernel(store=tmp_path / "s")
+        with kernel.transaction():
+            kernel.persist("a", lap_bat())
+            kernel.persist("b", lap_bat())
+        with pytest.raises(MonetError):
+            with kernel.transaction():
+                kernel.persist("c", lap_bat())
+                raise MonetError("boom")
+        kernel.close()
+        revived = MonetKernel(store=tmp_path / "s")
+        assert revived.catalog_names() == ["a", "b"]  # "c" rolled back
+        assert revived.recovery.aborts_seen == 1
+        revived.close()
+
+    def test_checkpoint_truncates_and_recovers(self, tmp_path):
+        kernel = MonetKernel(store=tmp_path / "s")
+        kernel.persist("laps", lap_bat())
+        seqno = kernel.checkpoint()
+        assert seqno == 1
+        assert kernel.store.records_since_checkpoint == 0
+        kernel.persist("after", lap_bat())
+        kernel.close()
+        revived = MonetKernel(store=tmp_path / "s")
+        assert revived.catalog_names() == ["after", "laps"]
+        assert revived.recovery.checkpoint_seqno == 1
+        revived.close()
+
+    def test_auto_checkpoint_fires_between_commits(self, tmp_path):
+        store = DurableStore(tmp_path / "s", fsync=False, auto_checkpoint=3)
+        kernel = MonetKernel(store=store)
+        for i in range(4):
+            kernel.persist(f"b{i}", lap_bat())
+        assert store.records_since_checkpoint < 3
+        assert read_checkpoint(store.path) is not None
+        kernel.close()
+
+    def test_modules_are_remembered_not_reloaded(self, tmp_path):
+        from repro.cobra.extensions import DbnModule
+
+        kernel = MonetKernel(store=tmp_path / "s")
+        kernel.load_module(DbnModule())
+        kernel.close()
+        revived = MonetKernel(store=tmp_path / "s")
+        assert revived.expected_modules == ["dbn"]
+        assert revived.module_names() == []  # caller must re-load
+        revived.close()
+
+    def test_nested_transactions_are_savepoints(self, tmp_path):
+        kernel = MonetKernel(store=tmp_path / "s")
+        with kernel.transaction():
+            kernel.persist("outer", lap_bat())
+            with pytest.raises(MonetError):
+                with kernel.transaction():
+                    kernel.persist("inner", lap_bat())
+                    raise MonetError("inner fails")
+            assert "outer" in kernel.catalog_names()
+            assert "inner" not in kernel.catalog_names()
+        kernel.close()
+        revived = MonetKernel(store=tmp_path / "s")
+        assert revived.catalog_names() == ["outer"]
+        revived.close()
+
+    def test_cross_thread_transaction_rejected(self):
+        import threading
+
+        kernel = MonetKernel()
+        errors = []
+
+        def intruder():
+            try:
+                with kernel.transaction():
+                    pass
+            except MonetError as exc:
+                errors.append(exc)
+
+        with kernel.transaction():
+            thread = threading.Thread(target=intruder)
+            thread.start()
+            thread.join()
+        assert len(errors) == 1
+
+    def test_snapshot_is_aliasing_free(self):
+        # regression: snapshot()/copy() used to share tail storage for
+        # object-atom values, so post-snapshot mutation leaked into the
+        # "snapshot" and rollback silently restored the mutated state
+        kernel = MonetKernel()
+        bat = BAT("void", "any")
+        bat.insert({"mutable": [1, 2]})
+        kernel.persist("state", bat)
+        saved = kernel.snapshot()
+        bat.tails()[0]["mutable"].append(3)
+        assert saved["state"].tails()[0]["mutable"] == [1, 2]
+        kernel.restore(saved)
+        assert kernel.bat("state").tails()[0]["mutable"] == [1, 2]
+
+    def test_bat_copy_deep_copies_object_tails(self):
+        bat = BAT("void", "any")
+        payload = {"k": [1]}
+        bat.insert(payload)
+        clone = bat.copy()
+        payload["k"].append(2)
+        assert clone.tails()[0] == {"k": [1]}
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestCli:
+    def _seed_store(self, tmp_path):
+        kernel = MonetKernel(store=tmp_path / "s")
+        kernel.persist("laps", lap_bat())
+        with kernel.transaction():
+            kernel.persist("times", lap_bat())
+        kernel.close()
+        return str(tmp_path / "s")
+
+    def test_inspect(self, tmp_path, capsys):
+        store = self._seed_store(tmp_path)
+        assert durability_main(["inspect", store]) == 0
+        out = capsys.readouterr().out
+        assert "persist 'laps'" in out and "commit txn" in out
+
+    def test_verify_ok_and_corrupt(self, tmp_path, capsys):
+        store = self._seed_store(tmp_path)
+        assert durability_main(["verify", store]) == 0
+        assert "recoverable" in capsys.readouterr().out
+        wal = tmp_path / "s" / "wal.log"
+        wal.write_bytes(wal.read_bytes()[:-2])
+        assert durability_main(["verify", store]) == 0  # torn tail recoverable
+        assert "truncated" in capsys.readouterr().out
+
+    def test_compact(self, tmp_path, capsys):
+        store = self._seed_store(tmp_path)
+        assert durability_main(["compact", store]) == 0
+        assert "compacted into checkpoint" in capsys.readouterr().out
+        state = DurableStore(store).recover()
+        assert state.report.wal_records == 0
+        assert sorted(state.catalog) == ["laps", "times"]
