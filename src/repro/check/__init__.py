@@ -11,9 +11,18 @@ the reproduction's three levels:
   their evidence mappings (``MODELnnn`` codes);
 * :mod:`repro.check.catalogcheck` — structural invariants of a BAT catalog
   (``CATnnn`` codes), run by crash recovery before a recovered catalog is
-  opened.
+  opened;
+* :mod:`repro.check.flowcheck` — cross-level dataflow analysis: abstract
+  interpretation over a **type × range × rate** lattice, proving feature
+  streams stay in [0, 1] at 10 Hz all the way into the evidence nodes
+  (``FLOWnnn`` codes);
+* :mod:`repro.check.racecheck` — static lockset/ownership analysis of
+  ``PARALLEL`` blocks and catalog writes (``RACEnnn`` codes);
+* :mod:`repro.check.sanitize` — the runtime sanitizer armed by
+  ``check="sanitize"``, enforcing the same FLOW/RACE invariants while
+  plans execute.
 
-All three report :class:`Diagnostic` findings through a shared
+All passes report :class:`Diagnostic` findings through a shared
 :class:`DiagnosticReport`; error-severity findings raise the matching
 :class:`repro.errors.DiagnosticError` subclass at the registration choke
 points (``MilInterpreter.define_proc``, ``MoaCompiler.compile``,
@@ -23,6 +32,7 @@ Run the linter from the command line::
 
     python -m repro.check                 # lint built-in procs + networks
     python -m repro.check path/to/file.mil
+    python -m repro.check --strict --format sarif examples/
 """
 
 from repro.check.catalogcheck import check_catalog
@@ -32,25 +42,40 @@ from repro.check.diagnostics import (
     DiagnosticReport,
     Severity,
 )
+from repro.check.flowcheck import (
+    FlowChecker,
+    check_feature_set,
+    check_flow_source,
+    check_moa_flow,
+)
 from repro.check.milcheck import MilChecker
 from repro.check.milcheck import check_proc as check_mil_proc
 from repro.check.milcheck import check_source as check_mil_source
 from repro.check.moacheck import MoaChecker
 from repro.check.moacheck import check_expr as check_moa_expr
 from repro.check.modelcheck import check_cpd, check_network, check_template
+from repro.check.racecheck import RaceChecker, check_race_source
+from repro.check.sanitize import KernelSanitizer
 
 __all__ = [
     "CheckMode",
     "Diagnostic",
     "DiagnosticReport",
+    "FlowChecker",
+    "KernelSanitizer",
     "MilChecker",
     "MoaChecker",
+    "RaceChecker",
     "Severity",
     "check_catalog",
     "check_cpd",
+    "check_feature_set",
+    "check_flow_source",
     "check_mil_proc",
     "check_mil_source",
     "check_moa_expr",
+    "check_moa_flow",
     "check_network",
+    "check_race_source",
     "check_template",
 ]

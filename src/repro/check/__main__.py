@@ -1,27 +1,49 @@
-"""Command-line linter: ``python -m repro.check [path ...]``.
+"""Command-line linter: ``python -m repro.check [options] [path ...]``.
 
-Without arguments, lints the repo's built-in artifacts: the shipped MIL
+Without paths, lints the repo's built-in artifacts: the shipped MIL
 procedures (the Fig. 4 parallel-HMM procedure and the Fig. 5b DBN inference
 procedure) and the built-in fusion networks (audio structures a/b/c with
 temporal variants v1/v2/v3, and the audio-visual DBN).
 
-With arguments, each path is a ``.mil`` file (directories are searched
-recursively) linted against the standard Cobra kernel command set.
+With paths, each is a ``.mil`` file (directories are searched recursively)
+linted against the standard Cobra kernel command set.  Every MIL artifact
+runs through all three passes: the per-statement checker
+(:mod:`repro.check.milcheck`), the dataflow/range analysis
+(:mod:`repro.check.flowcheck`), and the PARALLEL race analysis
+(:mod:`repro.check.racecheck`).
 
-Exit status: 0 when no error-severity diagnostics were found (warnings are
-reported but do not fail), 1 when errors were found, 2 on usage errors.
+Options:
+
+* ``--format text|json|sarif`` — ``text`` (default) prints one gcc-style
+  line per diagnostic plus a summary; ``json`` and ``sarif`` print a single
+  machine-readable document (SARIF 2.1.0 suits CI annotation uploads).
+* ``--strict`` — warnings also fail the build (exit 1).
+
+Exit status: 0 when no failing diagnostics were found, 1 when some were,
+2 on usage errors.
 """
 
 from __future__ import annotations
 
-from pathlib import Path
+import argparse
+import json
 import sys
+from pathlib import Path
 
 import numpy as np
 
-from repro.check.diagnostics import DiagnosticReport
+from repro.check.diagnostics import Diagnostic, DiagnosticReport, Severity
+from repro.check.flowcheck import FlowChecker
 from repro.check.milcheck import MilChecker
 from repro.check.modelcheck import check_template
+from repro.check.racecheck import RaceChecker
+
+_SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+_SARIF_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
 
 
 def _build_kernel():
@@ -31,18 +53,27 @@ def _build_kernel():
     return CobraVDBMS(check="off").kernel
 
 
-def _mil_checker(kernel, exclude_procs: tuple[str, ...] = ()) -> MilChecker:
+def _checker_env(kernel, exclude_procs: tuple[str, ...] = ()) -> dict:
     procedures = {
         name: proc
         for name, proc in kernel.interpreter.procedures.items()
         if name not in exclude_procs
     }
-    return MilChecker(
+    return dict(
         commands=kernel.command_names(),
         signatures=kernel.command_signatures(),
         globals_names=kernel.catalog_names(),
         procedures=procedures,
     )
+
+
+def _check_mil(env: dict, source: str, name: str) -> DiagnosticReport:
+    """Run all three MIL passes over one source artifact."""
+    report = DiagnosticReport()
+    report.extend(MilChecker(**env).check_source(source, name=name))
+    report.extend(FlowChecker(**env).check_source(source, name=name))
+    report.extend(RaceChecker(**env).check_source(source, name=name))
+    return report
 
 
 def _check_builtin_mil(kernel) -> DiagnosticReport:
@@ -51,13 +82,13 @@ def _check_builtin_mil(kernel) -> DiagnosticReport:
 
     # the kernel itself defined dbnInferP at construction time; exclude it
     # so re-linting the shipped source is not a duplicate definition
-    checker = _mil_checker(kernel, exclude_procs=("dbnInferP",))
+    env = _checker_env(kernel, exclude_procs=("dbnInferP",))
     report = DiagnosticReport()
-    report.extend(checker.check_source(DBN_INFER_PROC, name="<dbnInferP>"))
+    report.extend(_check_mil(env, DBN_INFER_PROC, "<dbnInferP>"))
     parallel_source = build_parallel_eval_proc(
         "hmmP", [f"model{i}" for i in range(6)], n_servers=6
     )
-    report.extend(checker.check_source(parallel_source, name="<hmmP>"))
+    report.extend(_check_mil(env, parallel_source, "<hmmP>"))
     return report
 
 
@@ -116,29 +147,130 @@ def _collect_mil_files(paths: list[str]) -> list[Path] | None:
     return files
 
 
+# ---------------------------------------------------------------------------
+# output formats
+# ---------------------------------------------------------------------------
+
+
+def _sarif_location(diagnostic: Diagnostic) -> dict:
+    physical: dict = {
+        "artifactLocation": {"uri": diagnostic.source or "<input>"}
+    }
+    if diagnostic.line is not None:
+        region: dict = {"startLine": diagnostic.line}
+        if diagnostic.col is not None:
+            region["startColumn"] = diagnostic.col
+        if diagnostic.end_line is not None:
+            region["endLine"] = diagnostic.end_line
+        physical["region"] = region
+    return {"physicalLocation": physical}
+
+
+def _sarif_document(report: DiagnosticReport) -> dict:
+    ordered = report.sorted()
+    rules = sorted({d.code for d in ordered})
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.check",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": [{"id": code} for code in rules],
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": d.code,
+                        "level": _SARIF_LEVELS[d.severity],
+                        "message": {"text": d.message},
+                        "locations": [_sarif_location(d)],
+                    }
+                    for d in ordered
+                ],
+            }
+        ],
+    }
+
+
+def _json_document(report: DiagnosticReport, checked: str) -> dict:
+    return {
+        "tool": "repro.check",
+        "checked": checked,
+        "errors": len(report.errors),
+        "warnings": len(report.warnings),
+        "diagnostics": report.to_dicts(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+
+def _parse_args(argv: list[str]) -> argparse.Namespace | int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description="Static analysis of MIL/Moa plans and fusion models.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=".mil files or directories (default: lint the built-ins)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        dest="output_format",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as failures (exit 1)",
+    )
+    try:
+        return parser.parse_args(argv)
+    except SystemExit as exc:
+        return exc.code if isinstance(exc.code, int) else 2
+
+
 def main(argv: list[str] | None = None) -> int:
-    args = list(sys.argv[1:] if argv is None else argv)
+    args = _parse_args(list(sys.argv[1:] if argv is None else argv))
+    if isinstance(args, int):
+        return args
     report = DiagnosticReport()
-    if args:
-        files = _collect_mil_files(args)
+    if args.paths:
+        files = _collect_mil_files(args.paths)
         if files is None:
             return 2
-        checker = _mil_checker(_build_kernel())
+        env = _checker_env(_build_kernel())
         for path in files:
-            report.extend(checker.check_source(path.read_text(), name=str(path)))
+            report.extend(_check_mil(env, path.read_text(), str(path)))
         checked = f"{len(files)} MIL file(s)"
     else:
         kernel = _build_kernel()
         report.extend(_check_builtin_mil(kernel))
         report.extend(_check_builtin_models())
         checked = "built-in MIL procedures and fusion networks"
-    for diagnostic in report:
-        print(diagnostic)
     errors, warnings = len(report.errors), len(report.warnings)
-    print(
-        f"repro.check: {checked}: {errors} error(s), {warnings} warning(s)"
-    )
-    return 1 if report.has_errors() else 0
+    if args.output_format == "json":
+        print(json.dumps(_json_document(report, checked), indent=2))
+    elif args.output_format == "sarif":
+        print(json.dumps(_sarif_document(report), indent=2))
+    else:
+        formatted = report.format()
+        if formatted:
+            print(formatted)
+        print(
+            f"repro.check: {checked}: {errors} error(s), {warnings} warning(s)"
+        )
+    if errors or (args.strict and warnings):
+        return 1
+    return 0
 
 
 if __name__ == "__main__":

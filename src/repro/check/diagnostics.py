@@ -36,12 +36,26 @@ class CheckMode(str, enum.Enum):
     * ``ERROR`` — raise a :class:`repro.errors.DiagnosticError` subclass when
       any error-severity diagnostic fires (warnings are collected silently);
     * ``WARN`` — collect every diagnostic but never raise;
-    * ``OFF`` — skip checking entirely.
+    * ``OFF`` — skip checking entirely;
+    * ``SANITIZE`` — like ``ERROR``, and additionally arm the runtime
+      sanitizer (:mod:`repro.check.sanitize`) so the same invariants are
+      enforced dynamically while plans execute.
     """
 
     ERROR = "error"
     WARN = "warn"
     OFF = "off"
+    SANITIZE = "sanitize"
+
+    @property
+    def raises(self) -> bool:
+        """Whether error-severity findings should raise at choke points."""
+        return self in (CheckMode.ERROR, CheckMode.SANITIZE)
+
+    @property
+    def checks(self) -> bool:
+        """Whether static analysis should run at all."""
+        return self is not CheckMode.OFF
 
     @staticmethod
     def of(value: "CheckMode | str") -> "CheckMode":
@@ -66,6 +80,9 @@ class Diagnostic:
         severity: :class:`Severity` of the finding.
         source: logical origin — a PROC name, file path, or model name.
         line: 1-based source line when the finding maps to MIL text.
+        col: 1-based column within ``line``, when known.
+        end_line: last line of a multi-line span, when the finding covers
+            more than one line.
     """
 
     code: str
@@ -73,12 +90,45 @@ class Diagnostic:
     severity: Severity = Severity.ERROR
     source: str | None = None
     line: int | None = None
+    col: int | None = None
+    end_line: int | None = None
 
-    def __str__(self) -> str:
+    def location(self) -> str:
+        """The gcc-style location prefix: ``source:line[:col]`` / a span."""
         location = self.source or "<input>"
         if self.line is not None:
             location = f"{location}:{self.line}"
-        return f"{location}: {self.severity} {self.code} {self.message}"
+            if self.col is not None:
+                location = f"{location}:{self.col}"
+            elif self.end_line is not None and self.end_line != self.line:
+                location = f"{location}-{self.end_line}"
+        return location
+
+    def sort_key(self) -> tuple:
+        """Deterministic (file, line, col, code) ordering key."""
+        return (
+            self.source or "",
+            self.line if self.line is not None else 0,
+            self.col if self.col is not None else 0,
+            self.code,
+            self.message,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (``None`` fields omitted)."""
+        out: dict = {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+        }
+        for key in ("source", "line", "col", "end_line"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        return out
+
+    def __str__(self) -> str:
+        return f"{self.location()}: {self.severity} {self.code} {self.message}"
 
 
 class DiagnosticReport:
@@ -95,8 +145,10 @@ class DiagnosticReport:
         severity: Severity = Severity.ERROR,
         source: str | None = None,
         line: int | None = None,
+        col: int | None = None,
+        end_line: int | None = None,
     ) -> Diagnostic:
-        diagnostic = Diagnostic(code, message, severity, source, line)
+        diagnostic = Diagnostic(code, message, severity, source, line, col, end_line)
         self.diagnostics.append(diagnostic)
         return diagnostic
 
@@ -128,8 +180,17 @@ class DiagnosticReport:
         return {d.code for d in self.diagnostics}
 
     # ------------------------------------------------------------------
+    def sorted(self) -> list[Diagnostic]:
+        """Diagnostics ordered deterministically by (file, line, col, code)."""
+        return sorted(self.diagnostics, key=Diagnostic.sort_key)
+
     def format(self) -> str:
-        return "\n".join(str(d) for d in self.diagnostics)
+        """One gcc-style line per diagnostic, deterministically ordered."""
+        return "\n".join(str(d) for d in self.sorted())
+
+    def to_dicts(self) -> list[dict]:
+        """JSON-serializable diagnostic list, deterministically ordered."""
+        return [d.to_dict() for d in self.sorted()]
 
     def raise_if_errors(
         self,
@@ -137,7 +198,7 @@ class DiagnosticReport:
         error_class: type[DiagnosticError] = DiagnosticError,
     ) -> None:
         """Raise ``error_class`` carrying the error diagnostics, if any."""
-        errors = self.errors
+        errors = sorted(self.errors, key=Diagnostic.sort_key)
         if errors:
             count = len(errors)
             noun = "error" if count == 1 else "errors"

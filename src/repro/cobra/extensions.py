@@ -62,7 +62,11 @@ class DbnModule(MonetModule):
         except KeyError:
             raise CobraError(f"no DBN model named {name!r}") from None
 
-    @command(args=("str", "str", "BAT[void,int]"), returns="BAT[void,dbl]")
+    @command(
+        args=("str", "str", "BAT[void,int]"),
+        returns="BAT[void,dbl]",
+        returns_range=(0.0, 1.0),
+    )
     def dbnInfer(self, model_name: str, node: str, obs: BAT) -> BAT:
         """Filter a single-evidence-node model over a symbol BAT.
 
@@ -119,7 +123,7 @@ class DbnExtension(MoaExtension):
 
             report = check_template(template, source=name)
             self.diagnostics.extend(report)
-            if self._check == "error":
+            if self._check in ("error", "sanitize"):
                 report.raise_if_errors(f"DBN model {name!r}", ModelCheckError)
         template.validate()
         self._templates[name] = template

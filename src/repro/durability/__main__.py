@@ -22,7 +22,7 @@ import tempfile
 from repro.durability.checkpoint import read_checkpoint
 from repro.durability.store import WAL_FILE, DurableStore
 from repro.durability.wal import read_records
-from repro.errors import DurabilityError, ReproError
+from repro.errors import CatalogCheckError, DurabilityError, ReproError
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
@@ -67,10 +67,20 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     store = DurableStore(args.store)
     try:
         state = store.recover(dry_run=True)
+    except CatalogCheckError as exc:
+        print("catalog invariants VIOLATED on the recovered store:")
+        for diagnostic in exc.diagnostics:
+            print(f"  {diagnostic}")
+        return 1
     except ReproError as exc:
         print(f"UNRECOVERABLE: {exc}")
         return 1
     print(state.report.describe())
+    findings = state.report.diagnostics
+    print(
+        f"catalog invariants (CAT001-CAT006): checked, "
+        f"{len(findings)} finding(s)"
+    )
     print("store is recoverable")
     return 0
 

@@ -262,6 +262,17 @@ class MilCheckError(DiagnosticError, MilError):
     """Static analysis rejected a MIL procedure before execution."""
 
 
+class SanitizerError(DiagnosticError, MonetError):
+    """The runtime sanitizer (``check="sanitize"``) caught a violation.
+
+    Raised while a plan executes: a conflicting catalog write across
+    PARALLEL branches (RACE001), a catalog mutation from a thread that
+    does not own the open transaction (RACE005), or a command value-range
+    contract broken by actual data (FLOW005). The offending diagnostics
+    ride along like on every :class:`DiagnosticError`.
+    """
+
+
 class MoaCheckError(DiagnosticError, MoaError):
     """Static analysis rejected a Moa expression before compilation."""
 

@@ -10,10 +10,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.check.flowcheck import check_feature_set
 from repro.check.modelcheck import check_template
 from repro.dbn.compiled import CompiledDbn
 from repro.dbn.template import DbnTemplate
-from repro.errors import ModelCheckError
+from repro.errors import DiagnosticError, ModelCheckError
 from repro.fusion.audio_networks import AUDIO_NODE_TO_FEATURE
 from repro.fusion.av_network import av_node_to_feature
 from repro.fusion.discretize import DiscretizationConfig, hard_evidence
@@ -83,8 +84,23 @@ def _lint_model(
     if check == "off":
         return []
     report = check_template(template, node_to_feature=node_to_feature, source=name)
-    if check == "error":
+    if check in ("error", "sanitize"):
         report.raise_if_errors(f"fusion model {name}", ModelCheckError)
+    return list(report)
+
+
+def _lint_features(features: FeatureSet, duration: float, name: str, check: str) -> list:
+    """Flow-check training streams against the [0,1] × 10 Hz contract.
+
+    Degraded inputs (dropped streams, recorded failures) are legitimately
+    short or partial, so only pristine extractions are held to the FLOW005/
+    FLOW006 invariants.
+    """
+    if check == "off" or features.dropped or features.failures:
+        return []
+    report = check_feature_set(features.streams, duration=duration, source=name)
+    if check in ("error", "sanitize"):
+        report.raise_if_errors(f"feature set of {name}", DiagnosticError)
     return list(report)
 
 
@@ -138,6 +154,14 @@ class AudioExperiment:
             AUDIO_NODE_TO_FEATURE,
             f"audio[{structure}/{temporal}]",
             check=check,
+        )
+        self.diagnostics.extend(
+            _lint_features(
+                train_data.features,
+                train_data.race.duration,
+                f"audio[{structure}/{temporal}] train features",
+                check,
+            )
         )
         self._engine = CompiledDbn(self.template)
 
@@ -245,6 +269,14 @@ class AvExperiment:
             av_node_to_feature(include_passing),
             f"av[passing={include_passing}]",
             check=check,
+        )
+        self.diagnostics.extend(
+            _lint_features(
+                train_data.features,
+                train_data.race.duration,
+                f"av[passing={include_passing}] train features",
+                check,
+            )
         )
         self._engine = CompiledDbn(self.template)
 

@@ -82,7 +82,12 @@ class HmmModule(MonetModule):
         observations = [int(x) for x in obs.tails()]
         return self._servers[server_id].evaluate(model_name, observations)
 
-    @command(args=("BAT[void,dbl]",), returns="BAT[void,int]", varargs=True)
+    @command(
+        args=("BAT[void,dbl]",),
+        returns="BAT[void,int]",
+        varargs=True,
+        arg_ranges=((0.0, 1.0),),
+    )
     def quantize(self, *feature_bats: BAT) -> BAT:
         """The Fig. 4 ``quant1``: fuse [void,dbl] feature BATs into symbols.
 

@@ -249,14 +249,16 @@ class MoaCompiler:
         if self._check == "off":
             return
         # imported lazily: repro.check.moacheck imports repro.moa.algebra
+        from repro.check.flowcheck import check_moa_flow
         from repro.check.moacheck import MoaChecker
         from repro.errors import MoaCheckError
 
         report = MoaChecker(self._extensions, allow_free_vars=True).check(
             expr, source="<moa-plan>"
         )
+        report.extend(check_moa_flow(expr, source="<moa-plan>"))
         self.diagnostics.extend(report)
-        if self._check == "error":
+        if self._check in ("error", "sanitize"):
             report.raise_if_errors("Moa plan", MoaCheckError)
 
     def execute(self, plan: MilPlan, **inputs: BAT) -> Any:

@@ -41,10 +41,14 @@ class MonetKernel:
 
     Named BATs are persisted in the catalog and visible to MIL by name.
 
-    ``check`` sets the strictness of the static analyzer that runs on every
+    ``check`` sets the strictness of the static analyzers that run on every
     ``PROC`` definition: ``"error"`` (default) rejects procedures with
-    error-severity findings, ``"warn"`` only collects diagnostics, and
-    ``"off"`` disables analysis.
+    error-severity findings, ``"warn"`` only collects diagnostics,
+    ``"off"`` disables analysis, and ``"sanitize"`` rejects like
+    ``"error"`` *and* arms the runtime sanitizer
+    (:class:`repro.check.sanitize.KernelSanitizer`) so parallel fan-outs,
+    catalog writes, and range-contracted commands are also checked while
+    plans execute.
 
     ``faults`` is an opt-in :class:`repro.faults.FaultInjector` (or plan)
     consulted before every command invocation (site
@@ -90,11 +94,16 @@ class MonetKernel:
         self.recovery: RecoveryReport | None = None
         #: Module names the recovered state expects the caller to re-load.
         self.expected_modules: list[str] = []
+        self._sanitizer = None
+        if check == "sanitize":
+            from repro.check.sanitize import KernelSanitizer
+
+            self._sanitizer = KernelSanitizer(self)
         self._install_builtins()
         self._mil = MilInterpreter(
             commands=self._commands,
             globals_scope=_CatalogView(self._catalog),
-            run_parallel=self._executor.run,
+            run_parallel=self._run_parallel,
             signatures=self._signatures,
             check=check,
             call_guard=self._guarded_command,
@@ -120,6 +129,8 @@ class MonetKernel:
         With a durable store and no open transaction this is auto-committed:
         the full BAT image is WAL-logged and fsynced before returning.
         """
+        if self._sanitizer is not None:
+            self._sanitizer.on_catalog_write("persist", name, bat)
         bat.name = name
         self._catalog[name] = bat
         if self._logging_autocommit():
@@ -136,6 +147,8 @@ class MonetKernel:
     def drop(self, name: str) -> None:
         if name not in self._catalog:
             raise MonetError(f"no BAT named {name!r} in the catalog")
+        if self._sanitizer is not None:
+            self._sanitizer.on_catalog_write("drop", name)
         del self._catalog[name]
         if self._logging_autocommit():
             self._store.log_drop(name)
@@ -431,6 +444,10 @@ class MonetKernel:
         deadline = self._active_deadline
         faults = self.faults
         call_timeout = self.resilience.call_timeout
+        if self._sanitizer is not None:
+            fn = self._sanitizer.wrap_command(
+                name, self._signatures.get(name), fn
+            )
 
         def attempt() -> Any:
             faults.on_call(site)
@@ -475,7 +492,22 @@ class MonetKernel:
 
     def parallel(self, thunks: Sequence[Callable[[], Any]]) -> list[Any]:
         """Run Python thunks on the kernel pool (used by extensions)."""
-        return self._executor.run(thunks)
+        return self._run_parallel(thunks)
+
+    def _run_parallel(
+        self,
+        thunks: Sequence[Callable[[], Any]],
+        labels: Sequence[str] | None = None,
+    ) -> list[Any]:
+        """Executor fan-out, routed through the sanitizer when armed."""
+        if self._sanitizer is not None:
+            return self._sanitizer.run_parallel(self._executor.run, thunks, labels)
+        return self._executor.run(thunks, labels)
+
+    @property
+    def sanitizer(self) -> Any:
+        """The armed :class:`repro.check.sanitize.KernelSanitizer`, or None."""
+        return self._sanitizer
 
     @property
     def threads(self) -> int:

@@ -567,7 +567,11 @@ class MilInterpreter:
     ) -> MilProcedure:
         """Register a PROC, statically checking it first.
 
-        With ``check="error"`` (the default) error-severity findings raise
+        Three passes run on every definition: the per-statement checker
+        (:mod:`repro.check.milcheck`), the dataflow/range analysis
+        (:mod:`repro.check.flowcheck`), and the PARALLEL race analysis
+        (:mod:`repro.check.racecheck`). With ``check="error"`` (the
+        default) or ``check="sanitize"`` error-severity findings raise
         :class:`repro.errors.MilCheckError` and the procedure is NOT
         registered; ``check="warn"`` collects diagnostics without raising;
         ``check="off"`` skips analysis. All findings land in
@@ -580,18 +584,28 @@ class MilInterpreter:
             definition = definition.definition
         if mode != "off":
             # imported lazily: repro.check.milcheck imports this module
+            from repro.check.flowcheck import FlowChecker
             from repro.check.milcheck import MilChecker
+            from repro.check.racecheck import RaceChecker
             from repro.errors import MilCheckError
 
-            checker = MilChecker(
+            environment = dict(
                 commands=self._commands,
                 signatures=self._signatures,
                 globals_names=list(self._globals.variables),
                 procedures={**self._procs, **self._pending_procs},
             )
-            report = checker.check_proc(definition, source=source)
+            report = MilChecker(**environment).check_proc(
+                definition, source=source
+            )
+            report.extend(
+                FlowChecker(**environment).check_proc(definition, source=source)
+            )
+            report.extend(
+                RaceChecker(**environment).check_proc(definition, source=source)
+            )
             self.diagnostics.extend(report)
-            if mode == "error":
+            if mode in ("error", "sanitize"):
                 report.raise_if_errors(
                     f"PROC {definition.name}", MilCheckError
                 )

@@ -51,10 +51,24 @@ class CommandSignature:
     returns: str = "any"
     varargs: bool = False
     module: str | None = None
+    #: Optional per-argument value-range contracts: a ``(lo, hi)`` bound per
+    #: declared argument slot (``None`` = unconstrained). For BAT arguments
+    #: the bound applies to every tail value. With ``varargs``, the last
+    #: entry repeats with the last argument type.
+    arg_ranges: tuple[tuple[float, float] | None, ...] = ()
+    #: Optional value-range contract on the return value.
+    returns_range: tuple[float, float] | None = None
 
     @property
     def min_args(self) -> int:
         return len(self.args) - 1 if self.varargs else len(self.args)
+
+    def arg_range(self, index: int) -> tuple[float, float] | None:
+        """Declared range contract for argument slot ``index``, if any."""
+        if not self.arg_ranges:
+            return None
+        slot = min(index, len(self.arg_ranges) - 1)
+        return self.arg_ranges[slot]
 
     def describe(self) -> str:
         rendered = list(self.args)
@@ -68,6 +82,8 @@ def command(
     args: Sequence[str] | None = None,
     returns: str = "any",
     varargs: bool = False,
+    arg_ranges: Sequence[tuple[float, float] | None] | None = None,
+    returns_range: tuple[float, float] | None = None,
 ) -> Callable:
     """Decorator marking a :class:`MonetModule` method as a MIL command.
 
@@ -76,6 +92,10 @@ def command(
         args: declared MIL argument types (enables static arity/type checks).
         returns: declared MIL return type.
         varargs: whether the final declared argument type repeats.
+        arg_ranges: per-argument ``(lo, hi)`` value-range contracts checked
+            statically by :mod:`repro.check.flowcheck` and dynamically in
+            ``check="sanitize"`` mode.
+        returns_range: ``(lo, hi)`` contract on the return value.
     """
 
     def mark(fn: Callable) -> Callable:
@@ -83,7 +103,12 @@ def command(
         fn._mil_command = command_name  # type: ignore[attr-defined]
         if args is not None:
             fn._mil_signature = CommandSignature(  # type: ignore[attr-defined]
-                command_name, tuple(args), returns, varargs
+                command_name,
+                tuple(args),
+                returns,
+                varargs,
+                arg_ranges=tuple(arg_ranges) if arg_ranges is not None else (),
+                returns_range=returns_range,
             )
         return fn
 
@@ -143,5 +168,7 @@ class MonetModule:
                     signature.returns,
                     signature.varargs,
                     module=self.name,
+                    arg_ranges=signature.arg_ranges,
+                    returns_range=signature.returns_range,
                 )
         return found

@@ -419,11 +419,32 @@ class TestCli:
     def test_verify_ok_and_corrupt(self, tmp_path, capsys):
         store = self._seed_store(tmp_path)
         assert durability_main(["verify", store]) == 0
-        assert "recoverable" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "recoverable" in out
+        assert "catalog invariants (CAT001-CAT006): checked" in out
         wal = tmp_path / "s" / "wal.log"
         wal.write_bytes(wal.read_bytes()[:-2])
         assert durability_main(["verify", store]) == 0  # torn tail recoverable
         assert "truncated" in capsys.readouterr().out
+
+    def test_verify_reports_catalog_invariant_violations(self, tmp_path, capsys):
+        # two BATs of one aligned group with diverging counts rebuild fine
+        # record by record, but violate the CAT005 catalog invariant
+        store = DurableStore(tmp_path / "s", fsync=False)
+        store.open()
+        store.log_persist(
+            "meta_event_event_id",
+            BAT.from_columns("void", "str", [0], ["e1"], next_oid=1),
+        )
+        store.log_persist(
+            "meta_event_kind",
+            BAT.from_columns("void", "str", [], [], next_oid=0),
+        )
+        store.close()
+        assert durability_main(["verify", str(tmp_path / "s")]) == 1
+        out = capsys.readouterr().out
+        assert "catalog invariants VIOLATED" in out
+        assert "CAT005" in out
 
     def test_compact(self, tmp_path, capsys):
         store = self._seed_store(tmp_path)
