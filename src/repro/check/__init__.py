@@ -20,7 +20,10 @@ the reproduction's three levels:
   ``PARALLEL`` blocks and catalog writes (``RACEnnn`` codes);
 * :mod:`repro.check.sanitize` — the runtime sanitizer armed by
   ``check="sanitize"``, enforcing the same FLOW/RACE invariants while
-  plans execute.
+  plans execute;
+* :mod:`repro.check.servicecheck` — service-readiness checks run when a
+  PROC is registered with :class:`repro.service.QueryService` (``SVCnnn``
+  codes): unbounded ``WHILE`` loops must carry a ``cancelpoint()``.
 
 All passes report :class:`Diagnostic` findings through a shared
 :class:`DiagnosticReport`; error-severity findings raise the matching
@@ -56,6 +59,11 @@ from repro.check.moacheck import check_expr as check_moa_expr
 from repro.check.modelcheck import check_cpd, check_network, check_template
 from repro.check.racecheck import RaceChecker, check_race_source
 from repro.check.sanitize import KernelSanitizer
+from repro.check.servicecheck import (
+    ServiceChecker,
+    check_service_proc,
+    check_service_source,
+)
 
 __all__ = [
     "CheckMode",
@@ -66,6 +74,7 @@ __all__ = [
     "MilChecker",
     "MoaChecker",
     "RaceChecker",
+    "ServiceChecker",
     "Severity",
     "check_catalog",
     "check_cpd",
@@ -77,5 +86,7 @@ __all__ = [
     "check_moa_flow",
     "check_network",
     "check_race_source",
+    "check_service_proc",
+    "check_service_source",
     "check_template",
 ]

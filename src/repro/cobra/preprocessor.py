@@ -27,12 +27,20 @@ from repro.cobra.metadata import MetadataStore
 from repro.cobra.query import CoqlQuery
 from repro.errors import (
     ExtractionError,
+    RequestCancelled,
+    TimeoutExpired,
     TransientError,
     TransientExtractionError,
     UnknownConceptError,
 )
 from repro.faults import resolve_injector
-from repro.resilience import CircuitBreaker, Deadline, FailureReport, ResiliencePolicy
+from repro.resilience import (
+    CircuitBreaker,
+    Deadline,
+    FailureReport,
+    ResiliencePolicy,
+    cancel_checkpoint,
+)
 
 __all__ = ["PreprocessReport", "QueryPreprocessor"]
 
@@ -112,6 +120,7 @@ class QueryPreprocessor:
         )
         for kind in report.required_kinds:
             for video_id in videos:
+                cancel_checkpoint(f"preprocess:{kind}")
                 if deadline is not None:
                     deadline.check(f"preprocess:{kind}")
                 if self._metadata.has_events(video_id, kind):
@@ -172,7 +181,14 @@ class QueryPreprocessor:
             breaker.allow()
             try:
                 self._faults.on_call(site)
+                cancel_checkpoint(site)
                 events = method.extract(document)
+            except (TimeoutExpired, RequestCancelled):
+                # Not the extractor's fault: the caller's budget expired or
+                # the request was cancelled. Give the half-open probe slot
+                # back (no outcome to record) and propagate.
+                breaker.release_probe()
+                raise
             except TransientError as exc:
                 breaker.record_failure()
                 raise TransientExtractionError(

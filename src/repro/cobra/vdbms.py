@@ -8,6 +8,7 @@ store and the extensions' MEL modules.
 
 from __future__ import annotations
 
+from contextlib import nullcontext as _null_scope
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -29,10 +30,12 @@ from repro.moa.extension import ExtensionRegistry
 from repro.moa.rewrite import MoaCompiler
 from repro.monet.kernel import MonetKernel
 from repro.resilience import (
+    CancellationToken,
     CircuitBreaker,
     Deadline,
     FailureReport,
     ResiliencePolicy,
+    cancel_scope,
 )
 
 __all__ = ["QueryResult", "DrainedFailures", "CobraVDBMS"]
@@ -161,16 +164,24 @@ class CobraVDBMS:
     def register_domain(self, knowledge: DomainKnowledge) -> None:
         self.catalog.add_domain(knowledge)
 
-    def register_document(self, document: VideoDocument, domain: str) -> None:
+    def register_document(
+        self,
+        document: VideoDocument,
+        domain: str,
+        token: CancellationToken | None = None,
+    ) -> None:
         """Register a video under a domain; its metadata becomes queryable.
 
         Runs in a kernel transaction: the document's event and object rows
         land in the metadata BATs atomically, and on a durable kernel the
-        whole registration is one WAL commit.
+        whole registration is one WAL commit. ``token`` (from the service's
+        batch lane) makes the registration cancellable; cancellation rolls
+        the transaction back, so no partial document is ever visible.
         """
         self.catalog.domain(domain)  # raises if unknown
-        with self.kernel.transaction():
-            self.metadata.register_document(document)
+        with cancel_scope(token) if token is not None else _null_scope():
+            with self.kernel.transaction():
+                self.metadata.register_document(document)
         self._domain_of_video[document.raw.video_id] = domain
 
     def document(self, video_id: str) -> VideoDocument:
@@ -179,26 +190,34 @@ class CobraVDBMS:
     # ------------------------------------------------------------------
     # querying
     # ------------------------------------------------------------------
-    def query(self, coql: str | CoqlQuery) -> QueryResult:
+    def query(
+        self, coql: str | CoqlQuery, token: CancellationToken | None = None
+    ) -> QueryResult:
         """Parse, preprocess (extracting missing metadata), and execute.
 
         The whole round runs under the policy's query budget; faults the
         layers recovered from (kernel retries, dropped extraction kinds,
         rollbacks) are gathered on ``QueryResult.failures``.
+
+        ``token`` (from the service layer) rides as the deadline *and* as
+        the ambient cancellation token, so every checkpoint down to MIL
+        statement dispatch observes both expiry and explicit cancellation.
         """
         parsed = parse_coql(coql) if isinstance(coql, str) else coql
         self.kernel.drain_failures()  # don't attribute stale faults here
-        deadline = self.resilience.query_deadline()
-        report = self._preprocess(parsed, deadline)
-        try:
-            records = QueryExecutor(self.metadata).execute(parsed)
-        except UnknownConceptError:
-            # A kind whose extraction was dropped under the degrade policy
-            # may be entirely absent from the store: answer empty rather
-            # than failing a query we deliberately kept alive.
-            if not any(kind == parsed.kind for kind, _ in report.dropped):
-                raise
-            records = []
+        deadline = token if token is not None else self.resilience.query_deadline()
+        with cancel_scope(token) if token is not None else _null_scope():
+            report = self._preprocess(parsed, deadline)
+            try:
+                records = QueryExecutor(self.metadata).execute(parsed)
+            except UnknownConceptError:
+                # A kind whose extraction was dropped under the degrade
+                # policy may be entirely absent from the store: answer
+                # empty rather than failing a query we deliberately kept
+                # alive.
+                if not any(kind == parsed.kind for kind, _ in report.dropped):
+                    raise
+                records = []
         failures = list(report.failures) + self.kernel.drain_failures()
         return QueryResult(parsed, records, report, failures=failures)
 

@@ -32,6 +32,7 @@ from repro.bayes.factor import Factor
 from repro.dbn.evidence import EvidenceSequence
 from repro.dbn.template import DbnTemplate
 from repro.errors import InferenceError
+from repro.resilience import cancel_checkpoint
 
 __all__ = ["CompiledDbn", "FilterResult", "SmoothResult", "project_onto_clusters"]
 
@@ -327,6 +328,7 @@ class CompiledDbn:
             tables = self._transition.step_tables(evidence, rest)
             liks = self._transition.likelihood_matrix(evidence, rest)
             for i, t in enumerate(rest):
+                cancel_checkpoint("dbn.filter")
                 alpha = (alpha @ tables[i]) * liks[i]
                 scale = alpha.sum()
                 if scale <= 0:
@@ -361,6 +363,7 @@ class CompiledDbn:
             tables = self._transition.step_tables(evidence, rest)
             liks = self._transition.likelihood_matrix(evidence, rest)
             for i, t in enumerate(rest):
+                cancel_checkpoint("dbn.smooth")
                 alpha = (alphas[t - 1] @ tables[i]) * liks[i]
                 scales[t] = alpha.sum()
                 if scales[t] <= 0:

@@ -50,9 +50,69 @@ def annotate(error: BaseException, note: str) -> BaseException:
 class DeadlineExceeded(ReproError):
     """A per-call or per-query monotonic-clock budget expired.
 
-    Deliberately neither transient nor permanent: retrying under the same
-    exhausted budget cannot help, so retry policies never retry it, but the
-    operation itself may succeed under a fresh deadline.
+    Base of :class:`TimeoutExpired`, kept so existing ``except
+    DeadlineExceeded`` handlers keep working; new code should raise and
+    catch :class:`TimeoutExpired`, which is transient and carries the
+    overshoot.
+    """
+
+    def __init__(self, message: str, site: str | None = None):
+        self.site = site
+        if site is not None:
+            message = f"{message} (at {site})"
+        super().__init__(message)
+
+
+class TimeoutExpired(DeadlineExceeded, TransientError):
+    """A deadline check fired: the budget is spent at a named site.
+
+    Transient — the same operation may well succeed under a fresh budget —
+    so :meth:`repro.resilience.FailureReport.from_exception` classifies it
+    as retryable; but :class:`repro.resilience.RetryPolicy` excludes it by
+    default (``give_up_on``) because retrying under the *same* exhausted
+    deadline cannot help. Carries ``site`` (where the check fired) and
+    ``overshoot`` (seconds past the deadline when it was noticed).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        site: str | None = None,
+        overshoot: float | None = None,
+    ):
+        self.overshoot = overshoot
+        if overshoot is not None:
+            message = f"{message} (overshot by {overshoot:.3f}s)"
+        super().__init__(message, site=site)
+
+
+class OverloadError(TransientError):
+    """The query service refused work to protect itself.
+
+    Raised by admission control (queue full, rate limit, draining) and by
+    the shed-oldest policy when a queued request is evicted under sustained
+    saturation. Transient — the client may retry after ``retry_after``
+    seconds — but retry policies exclude it by default so a saturated
+    service is not hammered. ``reason`` is one of ``"queue-full"``,
+    ``"rate-limited"``, ``"draining"``, ``"shed"``, ``"bulkhead-full"``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        reason: str = "queue-full",
+        retry_after: float | None = None,
+    ):
+        self.reason = reason
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class RequestCancelled(ReproError):
+    """A cooperatively cancelled request observed its cancellation token.
+
+    Deliberately neither transient nor permanent: the work itself was
+    fine — somebody (the client, or a draining service) asked it to stop.
     """
 
     def __init__(self, message: str, site: str | None = None):

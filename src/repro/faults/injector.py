@@ -123,11 +123,12 @@ class FaultInjector:
     # call-path hooks (fail / delay)
     # ------------------------------------------------------------------
     def on_call(self, site: str) -> None:
-        """Hook before a guarded call: may sleep (delay), raise (fail), or
-        simulate a process kill (kill)."""
+        """Hook before a guarded call: may sleep (delay), wedge in a
+        cancellable stall (stall), raise (fail), or simulate a process
+        kill (kill)."""
         if self.plan is None:
             return
-        specs = self._matching(site, ("fail", "delay", "kill"))
+        specs = self._matching(site, ("fail", "delay", "stall", "kill"))
         if not specs:
             return
         invocation = self._next_invocation(site)
@@ -138,6 +139,10 @@ class FaultInjector:
                 self._log(site, spec, invocation, f"{spec.delay}s")
                 if spec.delay > 0:
                     self._sleep(spec.delay)
+                continue
+            if spec.kind == "stall":
+                self._log(site, spec, invocation, f"{spec.delay}s")
+                self._stall(site, spec.delay)
                 continue
             if spec.kind == "kill":
                 self._log(site, spec, invocation, "crash")
@@ -151,6 +156,48 @@ class FaultInjector:
             self._log(site, spec, invocation, "transient" if spec.transient else "permanent")
             error = InjectedTransientError if spec.transient else InjectedPermanentError
             raise error(message, site=site)
+
+    def _stall(self, site: str, duration: float) -> None:
+        """Wedge for ``duration`` seconds, but stay cancellable.
+
+        Sleeps in small slices and checks the ambient cancellation token
+        between them, so a stalled worker holds its bulkhead lane (the
+        overload it models) yet still honours cooperative cancellation —
+        a drain deadline can reclaim the lane within one slice.
+        """
+        from repro.resilience import cancel_checkpoint
+
+        slice_s = 0.01
+        remaining = duration
+        cancel_checkpoint(site)
+        while remaining > 0:
+            self._sleep(min(slice_s, remaining))
+            remaining -= slice_s
+            cancel_checkpoint(site)
+
+    # ------------------------------------------------------------------
+    # arrival hook (burst)
+    # ------------------------------------------------------------------
+    def burst_count(self, site: str) -> int:
+        """Extra duplicate arrivals to synthesize at an admission site.
+
+        The query service calls this once per real submission; a matching
+        ``burst`` spec that fires contributes ``spec.factor`` clones, so a
+        plan with ``factor=3`` turns each arrival into 4 requests. Returns
+        0 when no spec fires (the common case and the disabled case).
+        """
+        if self.plan is None:
+            return 0
+        specs = self._matching(site, ("burst",))
+        if not specs:
+            return 0
+        invocation = self._next_invocation(site)
+        extra = 0
+        for index, spec in specs:
+            if self._fire(index, spec, site, invocation):
+                self._log(site, spec, invocation, f"factor={spec.factor}")
+                extra += spec.factor
+        return extra
 
     # ------------------------------------------------------------------
     # data hooks (drop / corrupt)

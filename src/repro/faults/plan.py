@@ -23,13 +23,21 @@ __all__ = ["FaultSpec", "FaultPlan", "FAULT_KINDS"]
 #:
 #: * ``fail``    — raise an Injected(Transient|Permanent)Error,
 #: * ``delay``   — sleep ``delay`` seconds before the call proceeds,
+#: * ``stall``   — model a wedged call: sleep ``delay`` seconds in small
+#:   slices, checking the ambient cancellation token between slices, so a
+#:   stalled extractor ties up its bulkhead lane but still honours
+#:   cooperative cancellation at checkpoint granularity,
 #: * ``drop``    — remove the data item (stream / frame / overlay) entirely,
 #: * ``corrupt`` — damage the data in a kind-appropriate way (audio
 #:   dropouts, frozen frames, garbled overlay text, noisy streams),
+#: * ``burst``   — model an arrival surge at a service admission site: the
+#:   :meth:`repro.faults.injector.FaultInjector.burst_count` hook reports
+#:   ``factor`` extra duplicate arrivals per trigger, which the query
+#:   service synthesizes as clone requests to drive overload,
 #: * ``kill``    — raise :class:`repro.errors.SimulatedCrash`, modelling a
 #:   process kill at a named WAL/checkpoint crash point (the chaos harness
 #:   in :mod:`repro.durability.chaos` recovers from disk afterwards).
-FAULT_KINDS = ("fail", "delay", "drop", "corrupt", "kill")
+FAULT_KINDS = ("fail", "delay", "stall", "drop", "corrupt", "burst", "kill")
 
 
 @dataclass(frozen=True)
@@ -44,10 +52,13 @@ class FaultSpec:
         rate: per-invocation trigger probability in [0, 1].
         transient: for ``kind="fail"`` — raise a transient (retryable) or
             permanent injected error.
-        delay: seconds slept for ``kind="delay"``.
+        delay: seconds slept for ``kind="delay"`` and total wedge duration
+            for ``kind="stall"``.
         severity: corruption strength in [0, 1] for ``kind="corrupt"``
             (fraction of samples dropped out / frames frozen / characters
             garbled / noise amplitude).
+        factor: for ``kind="burst"`` — how many extra duplicate arrivals
+            each trigger injects on top of the real one.
         max_triggers: cap on how many times this spec may fire (``None`` =
             unlimited).
         message: override for the injected error message.
@@ -59,6 +70,7 @@ class FaultSpec:
     transient: bool = True
     delay: float = 0.0
     severity: float = 0.5
+    factor: int = 2
     max_triggers: int | None = None
     message: str = ""
 
@@ -75,6 +87,8 @@ class FaultSpec:
             raise ReproError(f"severity must be in [0, 1], got {self.severity}")
         if self.delay < 0:
             raise ReproError(f"delay must be >= 0, got {self.delay}")
+        if self.factor < 1:
+            raise ReproError(f"factor must be >= 1, got {self.factor}")
 
 
 @dataclass(frozen=True)
@@ -118,8 +132,10 @@ class FaultPlan:
             extra = {
                 "fail": f"transient={spec.transient}",
                 "delay": f"delay={spec.delay}s",
+                "stall": f"delay={spec.delay}s",
                 "drop": "",
                 "corrupt": f"severity={spec.severity}",
+                "burst": f"factor={spec.factor}",
                 "kill": "",
             }[spec.kind]
             cap = f" max={spec.max_triggers}" if spec.max_triggers else ""

@@ -66,6 +66,19 @@ NAMED_PLANS: dict[str, FaultPlan] = {
             FaultSpec(site="wal.commit:mid", kind="kill", max_triggers=1),
         ),
     ),
+    # The ISSUE-5 acceptance scenario: every submission to the service is
+    # amplified 4x (factor=3 extra clones per arrival) while the video
+    # extractor lane wedges in cancellable stalls — drives the queue to
+    # saturation so shed-oldest and drain paths are exercised. Used by
+    # tests/test_service.py and the overload CI job.
+    "overload-burst": FaultPlan(
+        seed=41,
+        name="overload-burst",
+        specs=(
+            FaultSpec(site="service.submit:*", kind="burst", rate=1.0, factor=3),
+            FaultSpec(site="extractor:*", kind="stall", rate=0.5, delay=0.02),
+        ),
+    ),
     # The full broadcast-from-hell: audio dropouts, frame loss, garbled
     # chyrons, stream corruption, transient kernel/extractor failures.
     "chaos": FaultPlan(

@@ -26,6 +26,7 @@ from typing import Any, Callable, Mapping, Sequence
 
 from repro.errors import MoaError, MoaTypeError
 from repro.moa.extension import ExtensionRegistry
+from repro.resilience import cancel_checkpoint
 
 __all__ = [
     "Expr",
@@ -297,16 +298,18 @@ def _eval(
         case Not(operand=operand):
             return not _eval(operand, env, extensions)
         case Map(var=var, body=body, source=source):
-            return [
-                _eval(body, {**env, var: element}, extensions)
-                for element in _as_set(_eval(source, env, extensions))
-            ]
+            out = []
+            for element in _as_set(_eval(source, env, extensions)):
+                cancel_checkpoint("moa.map")
+                out.append(_eval(body, {**env, var: element}, extensions))
+            return out
         case Select(var=var, pred=pred, source=source):
-            return [
-                element
-                for element in _as_set(_eval(source, env, extensions))
-                if _eval(pred, {**env, var: element}, extensions)
-            ]
+            out = []
+            for element in _as_set(_eval(source, env, extensions)):
+                cancel_checkpoint("moa.select")
+                if _eval(pred, {**env, var: element}, extensions):
+                    out.append(element)
+            return out
         case Join(
             left_var=lv, right_var=rv, pred=pred, left=left, right=right, result=result
         ):
@@ -314,6 +317,7 @@ def _eval(
             right_set = _as_set(_eval(right, env, extensions))
             out = []
             for a in left_set:
+                cancel_checkpoint("moa.join")
                 for b in right_set:
                     bound = {**env, lv: a, rv: b}
                     if _eval(pred, bound, extensions):

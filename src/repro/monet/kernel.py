@@ -14,14 +14,20 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
 
-from repro.errors import DeadlineExceeded, MonetError, SimulatedCrash, annotate
+from repro.errors import MonetError, SimulatedCrash, TimeoutExpired, annotate
 from repro.faults import FaultInjector, FaultPlan, resolve_injector
 from repro.monet.atoms import ATOMS
 from repro.monet.bat import BAT
 from repro.monet.mil import MilInterpreter
 from repro.monet.module import CommandSignature, MonetModule
 from repro.monet.parallel import ParallelExecutor
-from repro.resilience import Deadline, FailureReport, ResiliencePolicy
+from repro.resilience import (
+    Deadline,
+    FailureReport,
+    ResiliencePolicy,
+    cancel_checkpoint,
+    current_token,
+)
 
 if TYPE_CHECKING:  # imported lazily at runtime: durability layers on monet
     from repro.durability.store import DurableStore, RecoveryReport
@@ -432,6 +438,7 @@ class MonetKernel:
     # resilience guards
     # ------------------------------------------------------------------
     def _deadline_tick(self) -> None:
+        cancel_checkpoint("mil.statement")
         deadline = self._active_deadline
         if deadline is not None:
             deadline.check("mil.statement")
@@ -451,21 +458,29 @@ class MonetKernel:
 
         def attempt() -> Any:
             faults.on_call(site)
+            cancel_checkpoint(site)
             if call_timeout is None:
                 return fn(*args)
             started = time.monotonic()
             result = fn(*args)
             elapsed = time.monotonic() - started
             if elapsed > call_timeout:
-                raise DeadlineExceeded(
+                raise TimeoutExpired(
                     f"command ran {elapsed:.3f}s, over its {call_timeout}s "
                     f"per-call budget",
                     site=site,
+                    overshoot=elapsed - call_timeout,
                 )
             return result
 
         if not faults.enabled and deadline is None and call_timeout is None:
-            return fn(*args)  # fast path: nothing to guard
+            token = current_token()
+            if token is None:
+                return fn(*args)  # fast path: nothing to guard
+            # Token-only path: checkpoint, but skip the retry machinery —
+            # cancellation and timeouts are in give_up_on anyway.
+            token.check(site)
+            return fn(*args)
 
         def on_retry(attempt_number: int, error: BaseException) -> None:
             self.failures.append(
@@ -535,6 +550,7 @@ class MonetKernel:
                 "len": len,
                 "bat": self.bat,
                 "persist": self.persist,
+                "cancelpoint": _mil_cancelpoint,
             }
         )
         self._signatures.update(
@@ -555,6 +571,7 @@ class MonetKernel:
                 "len": CommandSignature("len", ("any",), "int"),
                 "bat": CommandSignature("bat", ("str",), "BAT"),
                 "persist": CommandSignature("persist", ("str", "BAT"), "BAT"),
+                "cancelpoint": CommandSignature("cancelpoint", (), "int"),
             }
         )
 
@@ -589,3 +606,15 @@ class _CatalogView(dict):
 
 def _mil_print(*args: Any) -> None:
     print(*args)
+
+
+def _mil_cancelpoint() -> int:
+    """MIL ``cancelpoint()``: explicit cancellation checkpoint.
+
+    Long-running hand-written loops (notably unbounded ``WHILE`` bodies in
+    service-registered PROCs — see diagnostic SVC001) call this so a
+    cancelled or expired request stops inside the loop. Returns 0 so it can
+    sit in expression position.
+    """
+    cancel_checkpoint("mil.cancelpoint")
+    return 0

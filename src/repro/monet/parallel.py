@@ -13,6 +13,7 @@ instead of a bare error escaping from an anonymous thread.
 from __future__ import annotations
 
 from concurrent.futures import FIRST_EXCEPTION, CancelledError, ThreadPoolExecutor, wait
+import contextvars
 import threading
 from typing import Any, Callable, Sequence
 
@@ -75,7 +76,14 @@ class ParallelExecutor:
         failures: list[tuple[int, BaseException]] = []
         cancelled = 0
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(thunk) for thunk in thunks]
+            # Each branch runs under a copy of the submitting thread's
+            # context, so ambient state — notably the cancellation token
+            # installed by repro.resilience.cancel_scope — crosses the
+            # thread boundary and branches stay cancellable.
+            futures = [
+                pool.submit(contextvars.copy_context().run, thunk)
+                for thunk in thunks
+            ]
             wait(futures, return_when=FIRST_EXCEPTION)
             # A failure (or completion) woke us: stop branches that have not
             # started, then drain the ones already running.

@@ -5,11 +5,23 @@ extractors, transient kernel glitches, whole modalities that fail to decode.
 This module supplies the machinery the kernel (`repro.monet`), the algebra
 (`repro.moa`) and the conceptual level (`repro.cobra`) use to keep going:
 
-* :class:`Deadline` — a monotonic-clock budget shared per call or per query,
+* :class:`Deadline` — a monotonic-clock budget shared per call or per query;
+  an expired check raises :class:`repro.errors.TimeoutExpired` carrying the
+  site and the overshoot, so ``FailureReport.from_exception`` classifies it
+  as transient,
+* :class:`CancellationToken` — a Deadline that can also be cancelled
+  cooperatively; hot loops across all three levels call
+  :func:`cancel_checkpoint` against the ambient token installed by
+  :func:`cancel_scope`, so an expired or cancelled request stops doing work
+  within one kernel step,
 * :class:`RetryPolicy` — bounded retry with exponential backoff, applied only
-  to :class:`repro.errors.TransientError`,
+  to :class:`repro.errors.TransientError`; ``TimeoutExpired``,
+  ``OverloadError`` and ``CircuitOpenError`` are transient but excluded by
+  default so exhausted budgets, saturated services and open circuits fail
+  fast instead of being hammered,
 * :class:`CircuitBreaker` — closed/open/half-open protection around each
-  registered extractor so a persistently failing method fails fast,
+  registered extractor so a persistently failing method fails fast; in the
+  half-open state exactly one in-flight probe is allowed at a time,
 * :class:`FailureReport` — the structured record that replaces raw
   tracebacks on ``QueryResult`` / ``PreprocessReport``,
 * :class:`ResiliencePolicy` — the bundle of the above a `CobraVDBMS` or
@@ -20,20 +32,28 @@ Everything takes an injectable clock/sleep so chaos tests are deterministic.
 
 from __future__ import annotations
 
+import contextvars
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
 
 from repro.errors import (
     CircuitOpenError,
-    DeadlineExceeded,
+    OverloadError,
+    RequestCancelled,
+    TimeoutExpired,
     TransientError,
     is_transient,
 )
 
 __all__ = [
     "Deadline",
+    "CancellationToken",
+    "cancel_scope",
+    "current_token",
+    "cancel_checkpoint",
     "RetryPolicy",
     "CircuitBreaker",
     "FailureReport",
@@ -61,7 +81,10 @@ class Deadline:
             self._expires_at: float | None = None
         else:
             if budget_seconds < 0:
-                raise DeadlineExceeded("deadline created already expired")
+                raise TimeoutExpired(
+                    "deadline created already expired",
+                    overshoot=-budget_seconds,
+                )
             self._expires_at = clock() + budget_seconds
 
     @classmethod
@@ -81,26 +104,138 @@ class Deadline:
         return max(0.0, self._expires_at - self._clock())
 
     def check(self, site: str = "") -> None:
-        """Raise :class:`DeadlineExceeded` if the budget is spent."""
-        if self.expired:
-            raise DeadlineExceeded("deadline exceeded", site=site or None)
+        """Raise :class:`repro.errors.TimeoutExpired` if the budget is spent.
+
+        The raised error carries the checkpoint ``site`` and the overshoot
+        (how far past the deadline the check noticed the expiry), and is
+        classified as transient by :meth:`FailureReport.from_exception` —
+        the same work may succeed under a fresh budget.
+        """
+        if self._expires_at is None:
+            return
+        now = self._clock()
+        if now >= self._expires_at:
+            raise TimeoutExpired(
+                "deadline exceeded",
+                site=site or None,
+                overshoot=now - self._expires_at,
+            )
+
+
+class CancellationToken(Deadline):
+    """A :class:`Deadline` that can additionally be cancelled cooperatively.
+
+    One token rides along with each service request, from admission through
+    the conceptual preprocessor into Moa evaluation, MIL interpretation,
+    DBN inference steps and per-frame extraction. Hot loops call
+    :meth:`check` (directly, where a deadline is already threaded through)
+    or :func:`cancel_checkpoint` (against the ambient token installed with
+    :func:`cancel_scope`), and the first checkpoint after :meth:`cancel`
+    or deadline expiry raises — so a cancelled request stops consuming
+    kernel steps within one MIL statement / inference step / frame.
+    """
+
+    __slots__ = ("_cancelled", "_cancel_reason")
+
+    def __init__(
+        self,
+        budget_seconds: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        super().__init__(budget_seconds, clock=clock)
+        self._cancelled = False
+        self._cancel_reason = ""
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Request cooperative cancellation; idempotent and thread-safe.
+
+        (A plain attribute write: booleans are atomic under the GIL and
+        the flag only ever flips False -> True.)
+        """
+        if not self._cancelled:
+            self._cancel_reason = reason
+            self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def cancel_reason(self) -> str:
+        return self._cancel_reason
+
+    def check(self, site: str = "") -> None:
+        """Raise :class:`RequestCancelled` when cancelled, else defer to the
+        deadline check (:class:`TimeoutExpired` when the budget is spent)."""
+        if self._cancelled:
+            raise RequestCancelled(
+                self._cancel_reason or "request cancelled", site=site or None
+            )
+        super().check(site)
+
+
+#: The ambient token of the request currently executing on this thread /
+#: context. Low layers (MIL statement dispatch, DBN inference, per-frame
+#: extraction) consult it through :func:`cancel_checkpoint` so cancellation
+#: propagates without threading a token through every signature.
+_CURRENT_TOKEN: contextvars.ContextVar[CancellationToken | None] = (
+    contextvars.ContextVar("repro_cancellation_token", default=None)
+)
+
+
+def current_token() -> CancellationToken | None:
+    """The ambient :class:`CancellationToken`, or None outside any scope."""
+    return _CURRENT_TOKEN.get()
+
+
+@contextmanager
+def cancel_scope(token: CancellationToken | None) -> Iterator[CancellationToken | None]:
+    """Install ``token`` as the ambient cancellation token for this context.
+
+    ``ParallelExecutor`` propagates the context into worker threads, so
+    checkpoints inside PARALLEL branches observe the same token.
+    """
+    handle = _CURRENT_TOKEN.set(token)
+    try:
+        yield token
+    finally:
+        _CURRENT_TOKEN.reset(handle)
+
+
+def cancel_checkpoint(site: str = "") -> None:
+    """Cooperative cancellation checkpoint against the ambient token.
+
+    A no-op outside any :func:`cancel_scope` (one context-variable read),
+    so hot loops can call it unconditionally.
+    """
+    token = _CURRENT_TOKEN.get()
+    if token is not None:
+        token.check(site)
 
 
 @dataclass(frozen=True)
 class RetryPolicy:
     """Bounded retry with exponential backoff for transient faults.
 
-    Only :class:`repro.errors.TransientError` is retried, and
-    :class:`repro.errors.CircuitOpenError` is excluded by default so open
-    circuits keep failing fast. Sleeps never exceed the active deadline's
-    remaining budget.
+    Only :class:`repro.errors.TransientError` is retried.
+    :class:`repro.errors.CircuitOpenError`,
+    :class:`repro.errors.TimeoutExpired` and
+    :class:`repro.errors.OverloadError` are excluded by default: all three
+    are transient (a later, fresh attempt may succeed) but retrying *now* —
+    against an open circuit, an exhausted budget, or a saturated service —
+    only makes the condition worse. Sleeps never exceed the active
+    deadline's remaining budget.
     """
 
     max_attempts: int = 3
     base_delay: float = 0.005
     multiplier: float = 2.0
     max_delay: float = 0.25
-    give_up_on: tuple[type[BaseException], ...] = (CircuitOpenError,)
+    give_up_on: tuple[type[BaseException], ...] = (
+        CircuitOpenError,
+        TimeoutExpired,
+        OverloadError,
+    )
     sleep: Callable[[float], None] = time.sleep
 
     def delay_for(self, attempt: int) -> float:
@@ -133,9 +268,10 @@ class RetryPolicy:
                 if deadline is not None:
                     remaining = deadline.remaining()
                     if remaining <= 0:
-                        raise DeadlineExceeded(
+                        raise TimeoutExpired(
                             "deadline exhausted during retry backoff",
                             site=site or None,
+                            overshoot=0.0,
                         ) from exc
                     pause = min(pause, remaining)
                 if on_retry is not None:
@@ -149,8 +285,13 @@ class CircuitBreaker:
 
     Closed: calls pass through; ``failure_threshold`` consecutive failures
     open the circuit. Open: calls raise :class:`CircuitOpenError` without
-    running until ``recovery_timeout`` elapses. Half-open: one trial call is
-    let through — success closes the circuit, failure re-opens it.
+    running until ``recovery_timeout`` elapses. Half-open: exactly ONE trial
+    call is let through at a time — :meth:`allow` hands the single probe
+    slot to the first caller and fails every concurrent caller fast until
+    the probe reports back (success closes the circuit, failure re-opens
+    it). Without the slot, every worker of a saturated pool would probe the
+    recovering extractor at once, re-creating the thundering herd the
+    breaker exists to prevent.
     """
 
     CLOSED = "closed"
@@ -174,6 +315,8 @@ class CircuitBreaker:
         self._state = self.CLOSED
         self._consecutive_failures = 0
         self._opened_at: float | None = None
+        #: Whether the half-open state's single probe slot is taken.
+        self._probe_in_flight = False
 
     @property
     def state(self) -> str:
@@ -189,7 +332,13 @@ class CircuitBreaker:
         return self._state
 
     def allow(self) -> None:
-        """Raise :class:`CircuitOpenError` when calls must not run."""
+        """Raise :class:`CircuitOpenError` when calls must not run.
+
+        In the half-open state only a single in-flight probe is allowed:
+        the first caller takes the probe slot; every concurrent caller
+        fails fast with ``CircuitOpenError`` until the probe's outcome is
+        recorded.
+        """
         with self._lock:
             state = self._probe_state()
             if state == self.OPEN:
@@ -200,12 +349,21 @@ class CircuitBreaker:
                     f"({self._consecutive_failures} consecutive failures)",
                     retry_after=max(wait, 0.0),
                 )
+            if state == self.HALF_OPEN:
+                if self._probe_in_flight:
+                    raise CircuitOpenError(
+                        f"circuit {self.name or '<anonymous>'} is half-open "
+                        f"with its probe already in flight",
+                        retry_after=0.0,
+                    )
+                self._probe_in_flight = True
 
     def record_success(self) -> None:
         with self._lock:
             self._consecutive_failures = 0
             self._state = self.CLOSED
             self._opened_at = None
+            self._probe_in_flight = False
 
     def reset(self) -> None:
         """Operator re-arm: close the breaker and forget failure history.
@@ -215,6 +373,16 @@ class CircuitBreaker:
         healthy again and the breaker should not wait out its timeout.
         """
         self.record_success()
+
+    def release_probe(self) -> None:
+        """Give the half-open probe slot back without recording an outcome.
+
+        For probes that did not run to a verdict — the caller's own budget
+        expired or its request was cancelled mid-probe. The circuit stays
+        half-open and the next caller may probe.
+        """
+        with self._lock:
+            self._probe_in_flight = False
 
     def record_failure(self) -> None:
         with self._lock:
@@ -226,6 +394,7 @@ class CircuitBreaker:
             ):
                 self._state = self.OPEN
                 self._opened_at = self._clock()
+            self._probe_in_flight = False
 
     def call(self, fn: Callable[[], Any]) -> Any:
         """Run ``fn`` under the breaker, recording the outcome."""

@@ -1,0 +1,59 @@
+"""The concurrent query-serving layer in front of the Cobra VDBMS.
+
+The paper's prototype answers one query at a time for one researcher; a
+production deployment faces traffic. This package adds the overload
+machinery between the two:
+
+* :mod:`repro.service.queue` — bounded admission queue with priority
+  classes (interactive vs. batch) and the shed-oldest policy;
+* :mod:`repro.service.limiter` — token-bucket rate limiting;
+* :mod:`repro.service.pool` — bulkhead worker lanes on
+  :class:`repro.monet.parallel.ParallelExecutor`;
+* :mod:`repro.service.token` — the :class:`CancellationToken` carried
+  from admission down to MIL statement dispatch (defined in
+  :mod:`repro.resilience`, re-exported here);
+* :mod:`repro.service.service` — :class:`QueryService`: submit, execute,
+  and drain;
+* :mod:`repro.service.metrics` — the deterministic, replayable
+  :class:`ServiceReport`.
+
+``python -m repro.service`` runs the seeded overload chaos scenario the
+CI job asserts on (burst+stall plan, zero lost WAL commits, bounded p99
+admission latency).
+"""
+
+from repro.service.limiter import TokenBucket
+from repro.service.metrics import (
+    RequestRecord,
+    ServiceReport,
+    TERMINAL_STATUSES,
+    percentile,
+)
+from repro.service.pool import BulkheadPool
+from repro.service.queue import AdmissionQueue, Priority
+from repro.service.service import QueryService, Request, ServiceConfig, Ticket
+from repro.service.token import (
+    CancellationToken,
+    cancel_checkpoint,
+    cancel_scope,
+    current_token,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "BulkheadPool",
+    "CancellationToken",
+    "Priority",
+    "QueryService",
+    "Request",
+    "RequestRecord",
+    "ServiceConfig",
+    "ServiceReport",
+    "TERMINAL_STATUSES",
+    "Ticket",
+    "TokenBucket",
+    "cancel_checkpoint",
+    "cancel_scope",
+    "current_token",
+    "percentile",
+]

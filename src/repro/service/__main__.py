@@ -1,0 +1,177 @@
+"""The seeded overload chaos scenario (the CI ``overload`` job).
+
+Drives the query service to saturation with the ``overload-burst`` fault
+plan — every submission amplified 4x while the extractor lane wedges in
+cancellable stalls — against a *durable* kernel, then asserts the
+acceptance bar of the service layer:
+
+* **determinism** — the same scenario run twice produces equal
+  :class:`ServiceReport` records (admissions, sheds, rejections,
+  completions all replay);
+* **no silent drops** — every request ends in a terminal status, and
+  every non-completed one carries a typed reason;
+* **zero lost WAL commits** — every document whose registration
+  completed is recoverable from the store after the drain checkpoint;
+* **bounded admission latency** — p99 queue wait stays under the bound.
+
+Exit code 0 when every assertion holds, 1 otherwise.
+
+Usage::
+
+    python -m repro.service [--capacity N] [--p99-bound SECONDS]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.cobra.catalog import DomainKnowledge, ExtractionMethod
+from repro.cobra.model import RawVideo, VideoDocument
+from repro.cobra.vdbms import CobraVDBMS
+from repro.durability import DurableStore
+from repro.errors import OverloadError
+from repro.faults import FaultInjector, get_plan
+from repro.service import Priority, QueryService, ServiceConfig, ServiceReport
+from repro.synth.annotations import Interval
+
+
+def make_document(video_id: str) -> VideoDocument:
+    document = VideoDocument(
+        raw=RawVideo(video_id, f"synthetic://{video_id}", 120.0, 10.0, 192, 144, 16000)
+    )
+    document.new_event("highlight", Interval(9, 20), 0.8, source="dbn")
+    return document
+
+
+def make_knowledge() -> DomainKnowledge:
+    def extract(document):
+        return [
+            document.new_event(
+                "excited_speech", Interval(5, 9), 0.7, source="dbn"
+            )
+        ]
+
+    return DomainKnowledge(
+        "f1",
+        methods=[
+            ExtractionMethod("chaos_dbn", ("excited_speech",), extract, quality=0.8)
+        ],
+    )
+
+
+def run_scenario(store_dir: Path, capacity: int) -> tuple[ServiceReport, list[str]]:
+    """One seeded overload run; returns the report and the video ids whose
+    registration completed (the WAL-commit ground truth)."""
+    injector = FaultInjector(get_plan("overload-burst"))
+    db = CobraVDBMS(store=store_dir, faults=injector)
+    db.register_domain(make_knowledge())
+    service = QueryService(
+        db, ServiceConfig(queue_capacity=capacity, shed_policy="oldest")
+    )
+
+    # Two waves of 4 real arrivals each; the burst plan turns every one
+    # into 4 (1 real + 3 clones), i.e. 16 arrivals per wave against a
+    # queue of ``capacity`` — sustained 4x saturation w.r.t. the default
+    # capacity of 8, so shed-oldest must engage. Wave 1 registers
+    # documents (WAL commits), wave 2 queries them (stalled extraction).
+    registers: dict[int, str] = {}
+    for index in range(4):
+        video_id = f"race{index}"
+        try:
+            ticket = service.submit_register(make_document(video_id), "f1")
+            registers[ticket.seq] = video_id
+        except OverloadError:
+            pass  # typed rejection, on the record
+    service.run_until_idle()
+    for index in range(4):
+        try:
+            service.submit_query(
+                f"RETRIEVE excited_speech FROM race{index % 4}",
+                priority=Priority.INTERACTIVE,
+            )
+        except OverloadError:
+            pass
+    service.run_until_idle()
+    report = service.shutdown(deadline=5.0)
+    db.close()
+
+    committed = [
+        video_id
+        for seq, video_id in sorted(registers.items())
+        if report.records[seq].status == "completed"
+    ]
+    # clones that completed also committed their video
+    for record in report.records:
+        if (
+            record.kind == "register"
+            and record.status == "completed"
+            and record.clone_of in registers
+        ):
+            video_id = registers[record.clone_of]
+            if video_id not in committed:
+                committed.append(video_id)
+    return report, committed
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--capacity", type=int, default=8)
+    parser.add_argument("--p99-bound", type=float, default=5.0)
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        first_dir = Path(tmp) / "run1"
+        second_dir = Path(tmp) / "run2"
+        report, committed = run_scenario(first_dir, args.capacity)
+        replay, _ = run_scenario(second_dir, args.capacity)
+
+        print(report.describe())
+        print(f"committed registrations: {committed}")
+
+        if report.records != replay.records:
+            failures.append("reports differ across identical seeded runs")
+        if not report.all_terminal:
+            limbo = [r for r in report.records if r.status in ("queued", "running")]
+            failures.append(f"requests left in limbo: {limbo}")
+        for record in report.records:
+            if record.status in ("failed",) and not record.detail:
+                failures.append(f"untyped failure on record #{record.seq}")
+        if report.shed + report.rejected == 0:
+            failures.append(
+                "burst at 4x capacity shed/rejected nothing - overload "
+                "controls did not engage"
+            )
+        if report.completed == 0:
+            failures.append("nothing completed - the service made no progress")
+        p99 = report.p99_admission_latency()
+        if p99 > args.p99_bound:
+            failures.append(f"p99 admission latency {p99:.3f}s > {args.p99_bound}s")
+
+        # zero lost WAL commits: every completed registration survives
+        state = DurableStore(first_dir).recover()
+        recovered_events = state.catalog.get("meta_event_video_id")
+        recovered_videos = (
+            set(recovered_events.tails()) if recovered_events is not None else set()
+        )
+        for video_id in committed:
+            if video_id not in recovered_videos:
+                failures.append(
+                    f"registration of {video_id!r} completed but is absent "
+                    f"after recovery - lost WAL commit"
+                )
+
+    if failures:
+        print("OVERLOAD CHAOS FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("overload chaos scenario passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""A token-bucket rate limiter for service admission.
+
+The bucket holds at most ``capacity`` tokens and refills at ``rate``
+tokens per second; each admission costs one token. An empty bucket means
+the caller is submitting faster than the sustained rate — the service
+turns that into a typed :class:`repro.errors.OverloadError` with
+``reason="rate-limited"`` and the bucket's ``retry_after`` hint.
+
+The clock is injectable so tests drive refill deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.errors import ReproError
+
+__all__ = ["TokenBucket"]
+
+
+class TokenBucket:
+    """Classic token bucket: ``capacity`` burst, ``rate``/s sustained."""
+
+    def __init__(
+        self,
+        rate: float,
+        capacity: int,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate <= 0:
+            raise ReproError(f"refill rate must be > 0, got {rate}")
+        if capacity < 1:
+            raise ReproError(f"bucket capacity must be >= 1, got {capacity}")
+        self._rate = float(rate)
+        self._capacity = float(capacity)
+        self._clock = clock
+        self._tokens = float(capacity)
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    @property
+    def rate(self) -> float:
+        return self._rate
+
+    @property
+    def capacity(self) -> int:
+        return int(self._capacity)
+
+    def available(self) -> float:
+        """Tokens currently in the bucket (after refill)."""
+        with self._lock:
+            self._refill()
+            return self._tokens
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._updated
+        if elapsed > 0:
+            self._tokens = min(self._capacity, self._tokens + elapsed * self._rate)
+        self._updated = now
+
+    def try_acquire(self, n: int = 1) -> float | None:
+        """Take ``n`` tokens; returns None on success, else the seconds to
+        wait until ``n`` tokens will be available (the retry-after hint)."""
+        with self._lock:
+            self._refill()
+            if self._tokens >= n:
+                self._tokens -= n
+                return None
+            return (n - self._tokens) / self._rate

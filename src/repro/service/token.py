@@ -1,0 +1,22 @@
+"""Cancellation tokens for the service layer — re-exported.
+
+The token machinery lives in :mod:`repro.resilience` so the low layers
+(Moa evaluation, DBN inference, the MIL interpreter) can checkpoint
+against the ambient token without importing the service package — which
+would be a circular import, since the service sits on top of them. This
+module is the service-facing name for the same objects.
+"""
+
+from repro.resilience import (
+    CancellationToken,
+    cancel_checkpoint,
+    cancel_scope,
+    current_token,
+)
+
+__all__ = [
+    "CancellationToken",
+    "cancel_checkpoint",
+    "cancel_scope",
+    "current_token",
+]

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.resilience import cancel_checkpoint
 from repro.video.flyout import dust_fraction, sand_fraction
 from repro.video.frames import FrameStream
 from repro.video.motion import frame_difference, motion_histogram, passing_score
@@ -81,6 +82,7 @@ def extract_visual_features(
     previous: np.ndarray | None = None
 
     for i, frame in enumerate(stream):
+        cancel_checkpoint("extract.frame")
         semaphore[i] = tracker.update(frame)
         dve_scores[i] = dve.update(frame)
         dust[i] = dust_fraction(frame)
