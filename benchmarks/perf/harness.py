@@ -1,0 +1,199 @@
+"""Perf microbenchmark harness: the interpreter's baseline trajectory.
+
+ROADMAP item 1 (compiled/fused MIL execution) needs a measured baseline
+before any speedup can be claimed. This harness times the four layers a
+fused compiler would accelerate —
+
+* ``select_chain`` — two chained ``mselect`` scans plus an aggregate (the
+  exact shape PERF002 flags and the PR 7 fusion compiler will collapse);
+* ``join_aggregate`` — a semijoin feeding an aggregate;
+* ``dbn_inference`` — filtered posterior of the two-node H→O DBN over a
+  symbol stream;
+* ``end_to_end_query`` — a full COQL round through :class:`CobraVDBMS`
+  (parse → preprocess → execute) against a synthetic document
+
+— and writes per-benchmark mean/min/max seconds plus derived rows/s into a
+``BENCH_perf.json`` document (schema ``repro-bench-perf/1``). CI uploads
+the file on every run so the perf trajectory is a recorded series, not a
+claim.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/harness.py \
+        --rows 10000 --repeats 3 --out BENCH_perf.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+SCHEMA = "repro-bench-perf/1"
+
+SELECT_CHAIN_PROC = """
+PROC benchSelectChain(BAT[void,dbl] f) : any := {
+  VAR a := mselect(f, ">", 0.25);
+  VAR b := mselect(a, "<", 0.75);
+  VAR c := maggr(b, "count");
+  RETURN c;
+}
+"""
+
+JOIN_AGGREGATE_PROC = """
+PROC benchJoinAggregate(BAT[void,dbl] a, BAT[void,dbl] b) : any := {
+  VAR j := a.semijoin(b);
+  VAR s := maggr(j, "sum");
+  RETURN s;
+}
+"""
+
+
+def _feature_bat(rows: int, seed: int):
+    from repro.monet.bat import BAT
+
+    rng = np.random.default_rng(seed)
+    bat = BAT("void", "dbl")
+    bat.insert_bulk(None, [float(v) for v in rng.random(rows)])
+    return bat
+
+
+def _time(fn, repeats: int) -> list[float]:
+    durations = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        durations.append(time.perf_counter() - start)
+    return durations
+
+
+def _summary(durations: list[float], rows: int) -> dict:
+    mean = sum(durations) / len(durations)
+    return {
+        "mean_s": mean,
+        "min_s": min(durations),
+        "max_s": max(durations),
+        "rows_per_s": rows / mean if mean > 0 else None,
+        "repeats": len(durations),
+    }
+
+
+# ---------------------------------------------------------------------------
+# benchmarks
+# ---------------------------------------------------------------------------
+
+
+def bench_select_chain(rows: int, repeats: int) -> dict:
+    from repro.moa.rewrite import BulkModule
+    from repro.monet.kernel import MonetKernel
+
+    kernel = MonetKernel(check="off")
+    kernel.load_module(BulkModule())
+    kernel.run(SELECT_CHAIN_PROC)
+    bat = _feature_bat(rows, seed=1)
+    return _summary(
+        _time(lambda: kernel.call("benchSelectChain", [bat]), repeats), rows
+    )
+
+
+def bench_join_aggregate(rows: int, repeats: int) -> dict:
+    from repro.moa.rewrite import BulkModule
+    from repro.monet.kernel import MonetKernel
+
+    kernel = MonetKernel(check="off")
+    kernel.load_module(BulkModule())
+    kernel.run(JOIN_AGGREGATE_PROC)
+    left = _feature_bat(rows, seed=2)
+    right = _feature_bat(rows, seed=3)
+    return _summary(
+        _time(lambda: kernel.call("benchJoinAggregate", [left, right]), repeats),
+        rows,
+    )
+
+
+def bench_dbn_inference(rows: int, repeats: int) -> dict:
+    from repro.dbn.compiled import CompiledDbn
+    from repro.dbn.evidence import EvidenceSequence
+    from repro.dbn.template import DbnTemplate
+
+    template = DbnTemplate()
+    template.add_node("H", 2)
+    template.add_node("O", 2, observed=True)
+    template.add_intra_edge("H", "O")
+    template.add_inter_edge("H", "H")
+    template.randomize(np.random.default_rng(0))
+    engine = CompiledDbn(template)
+    steps = max(rows // 10, 10)
+    observations = np.random.default_rng(4).integers(0, 2, size=steps)
+    evidence = EvidenceSequence(template, hard={"O": observations})
+    return _summary(
+        _time(lambda: engine.posterior_series(evidence, "H"), repeats), steps
+    )
+
+
+def bench_end_to_end_query(rows: int, repeats: int) -> dict:
+    from repro.cobra.catalog import DomainKnowledge
+    from repro.cobra.model import FeatureTrack, RawVideo, VideoDocument
+    from repro.cobra.vdbms import CobraVDBMS
+    from repro.synth.annotations import Interval
+
+    db = CobraVDBMS(check="off")
+    db.register_domain(DomainKnowledge("bench"))
+    doc = VideoDocument(
+        raw=RawVideo("bench1", "synthetic://bench", 100.0, 10.0, 192, 144, 16000)
+    )
+    doc.add_feature(
+        FeatureTrack(
+            "excitement", np.random.default_rng(5).random(max(rows, 10))
+        )
+    )
+    for index in range(20):
+        doc.new_event(
+            "fly_out", Interval(index * 4, index * 4 + 3), 0.9, source="dbn"
+        )
+    db.register_document(doc, "bench")
+    return _summary(
+        _time(lambda: db.query("RETRIEVE fly_out FROM bench1"), repeats), 20
+    )
+
+
+BENCHMARKS = {
+    "select_chain": bench_select_chain,
+    "join_aggregate": bench_join_aggregate,
+    "dbn_inference": bench_dbn_inference,
+    "end_to_end_query": bench_end_to_end_query,
+}
+
+
+def run(rows: int, repeats: int) -> dict:
+    results = {}
+    for name, bench in BENCHMARKS.items():
+        results[name] = bench(rows, repeats)
+        mean = results[name]["mean_s"]
+        print(f"{name:20s} mean {mean * 1e3:9.2f} ms over {repeats} run(s)")
+    return {
+        "schema": SCHEMA,
+        "executor": "interpreter",
+        "rows": rows,
+        "repeats": repeats,
+        "benchmarks": results,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=10_000)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", type=Path, default=Path("BENCH_perf.json"))
+    args = parser.parse_args(argv)
+    document = run(args.rows, args.repeats)
+    args.out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

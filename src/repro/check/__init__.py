@@ -18,6 +18,14 @@ the reproduction's three levels:
   (``FLOWnnn`` codes);
 * :mod:`repro.check.racecheck` — static lockset/ownership analysis of
   ``PARALLEL`` blocks and catalog writes (``RACEnnn`` codes);
+* :mod:`repro.check.costcheck` — abstract interpretation over a
+  **cardinality × selectivity × cost** lattice emitting plan-level perf
+  lints (``PERFnnn`` codes, advisory) and cost estimates consumed by the
+  Cobra preprocessor for plan choice;
+* :mod:`repro.check.fusecheck` — purity/effect inference partitioning
+  plan bodies into certified fusion regions (``FUSEnnn`` codes,
+  advisory), serialized as :class:`FusionPlan` artifacts attached to
+  compiled procedures;
 * :mod:`repro.check.sanitize` — the runtime sanitizer armed by
   ``check="sanitize"``, enforcing the same FLOW/RACE invariants while
   plans execute;
@@ -39,6 +47,14 @@ Run the linter from the command line::
 """
 
 from repro.check.catalogcheck import check_catalog
+from repro.check.costcheck import (
+    CostChecker,
+    check_cost_source,
+    check_moa_cost,
+    estimate_extraction_cost,
+    estimate_model_cost,
+    estimate_moa_cost,
+)
 from repro.check.diagnostics import (
     CheckMode,
     Diagnostic,
@@ -50,6 +66,13 @@ from repro.check.flowcheck import (
     check_feature_set,
     check_flow_source,
     check_moa_flow,
+)
+from repro.check.fusecheck import (
+    Effects,
+    FuseChecker,
+    FusionPlan,
+    FusionRegion,
+    check_fuse_source,
 )
 from repro.check.milcheck import MilChecker
 from repro.check.milcheck import check_proc as check_mil_proc
@@ -67,9 +90,14 @@ from repro.check.servicecheck import (
 
 __all__ = [
     "CheckMode",
+    "CostChecker",
     "Diagnostic",
     "DiagnosticReport",
+    "Effects",
     "FlowChecker",
+    "FuseChecker",
+    "FusionPlan",
+    "FusionRegion",
     "KernelSanitizer",
     "MilChecker",
     "MoaChecker",
@@ -77,11 +105,14 @@ __all__ = [
     "ServiceChecker",
     "Severity",
     "check_catalog",
+    "check_cost_source",
     "check_cpd",
     "check_feature_set",
     "check_flow_source",
+    "check_fuse_source",
     "check_mil_proc",
     "check_mil_source",
+    "check_moa_cost",
     "check_moa_expr",
     "check_moa_flow",
     "check_network",
@@ -89,4 +120,7 @@ __all__ = [
     "check_service_proc",
     "check_service_source",
     "check_template",
+    "estimate_extraction_cost",
+    "estimate_model_cost",
+    "estimate_moa_cost",
 ]

@@ -7,17 +7,23 @@ temporal variants v1/v2/v3, and the audio-visual DBN).
 
 With paths, each is a ``.mil`` file (directories are searched recursively)
 linted against the standard Cobra kernel command set.  Every MIL artifact
-runs through all three passes: the per-statement checker
+runs through all five passes: the per-statement checker
 (:mod:`repro.check.milcheck`), the dataflow/range analysis
-(:mod:`repro.check.flowcheck`), and the PARALLEL race analysis
-(:mod:`repro.check.racecheck`).
+(:mod:`repro.check.flowcheck`), the PARALLEL race analysis
+(:mod:`repro.check.racecheck`), the plan-cost analysis
+(:mod:`repro.check.costcheck`), and the purity/fusibility analysis
+(:mod:`repro.check.fusecheck`).
 
 Options:
 
 * ``--format text|json|sarif`` — ``text`` (default) prints one gcc-style
   line per diagnostic plus a summary; ``json`` and ``sarif`` print a single
   machine-readable document (SARIF 2.1.0 suits CI annotation uploads).
-* ``--strict`` — warnings also fail the build (exit 1).
+* ``--strict`` — warnings also fail the build (exit 1).  Advisory families
+  (``PERF``/``FUSE`` performance-and-fusibility hints) are exempt: they
+  never change the exit status, so ``--strict`` still fails only on
+  error-severity findings plus genuine correctness warnings, and seed
+  plans with perf hints keep CI green.
 
 Exit status: 0 when no failing diagnostics were found, 1 when some were,
 2 on usage errors.
@@ -32,11 +38,17 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.check.costcheck import CostChecker
 from repro.check.diagnostics import Diagnostic, DiagnosticReport, Severity
 from repro.check.flowcheck import FlowChecker
+from repro.check.fusecheck import FuseChecker
 from repro.check.milcheck import MilChecker
 from repro.check.modelcheck import check_template
 from repro.check.racecheck import RaceChecker
+
+#: Diagnostic-code prefixes that are advisory: they inform (and land in
+#: reports/SARIF) but never fail the build, not even under ``--strict``.
+ADVISORY_PREFIXES = ("PERF", "FUSE")
 
 _SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
 _SARIF_LEVELS = {
@@ -68,11 +80,13 @@ def _checker_env(kernel, exclude_procs: tuple[str, ...] = ()) -> dict:
 
 
 def _check_mil(env: dict, source: str, name: str) -> DiagnosticReport:
-    """Run all three MIL passes over one source artifact."""
+    """Run all five MIL passes over one source artifact."""
     report = DiagnosticReport()
     report.extend(MilChecker(**env).check_source(source, name=name))
     report.extend(FlowChecker(**env).check_source(source, name=name))
     report.extend(RaceChecker(**env).check_source(source, name=name))
+    report.extend(CostChecker(**env).check_source(source, name=name))
+    report.extend(FuseChecker(**env).check_source(source, name=name))
     return report
 
 
@@ -268,7 +282,12 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"repro.check: {checked}: {errors} error(s), {warnings} warning(s)"
         )
-    if errors or (args.strict and warnings):
+    failing_warnings = [
+        d
+        for d in report.warnings
+        if not d.code.startswith(ADVISORY_PREFIXES)
+    ]
+    if errors or (args.strict and failing_warnings):
         return 1
     return 0
 

@@ -39,7 +39,11 @@ FLOW006   error     sampling-rate violation in a feature set
 
 ``FLOW002`` is suppressed inside ``PARALLEL`` blocks and ``WHILE`` bodies:
 concurrent branches and loop-carried stores are not dead even when a later
-store textually follows.  ``FLOW004`` only fires when both the declared and
+store textually follows.  It is also suppressed for BAT-typed stores whose
+store and overwrite both sit inside one certified fusion region
+(:mod:`repro.check.fusecheck`): the fused pipeline consumes the temporary
+internally, so the "dead" store never materializes — flagging it would
+push users to unfuse correct plans.  ``FLOW004`` only fires when both the declared and
 the inferred BAT column types are fully known — unlike the permissive
 widening of MIL006, it demands the exact atom at module boundaries.
 """
@@ -52,6 +56,7 @@ from dataclasses import dataclass, replace
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.check.diagnostics import DiagnosticReport, Severity
+from repro.check.fusecheck import FuseChecker
 from repro.check.milcheck import BatT, MilType, _head_as_value, _named_type
 from repro.errors import MilSyntaxError
 from repro.moa.algebra import (
@@ -376,7 +381,7 @@ class FlowChecker:
         reads: set[str] = set()
         for param in params:
             env[param.ident] = _VarState(self._seed_param(param.type_name))
-        ctx = _Ctx(known, source, report, decls, reads)
+        ctx = _Ctx(known, source, report, decls, reads, self._fused_spans(body))
         self._walk_block(body, env, ctx)
         self._flush_pending(env, ctx, suppressed=False)
         for record in decls:
@@ -388,6 +393,15 @@ class FlowChecker:
                     source=source,
                     line=record.line,
                 )
+
+    def _fused_spans(self, body: list[Any]) -> tuple[tuple[int, int], ...]:
+        """Certified fusion-region spans of ``body`` (FLOW002 gate)."""
+        return FuseChecker(
+            commands=self._commands,
+            signatures=self._signatures,
+            globals_names=self._globals,
+            procedures=self._procs,
+        ).certified_spans(body)
 
     def _flush_pending(
         self, env: dict[str, _VarState], ctx: "_Ctx", suppressed: bool
@@ -448,6 +462,10 @@ class FlowChecker:
                     state.pending_store is not None
                     and not in_parallel
                     and not in_loop
+                    and not (
+                        isinstance(state.val.type, BatT)
+                        and ctx.in_fused_span(state.pending_store, line)
+                    )
                 ):
                     ctx.report.add(
                         "FLOW002",
@@ -727,6 +745,17 @@ class _Ctx:
     report: DiagnosticReport
     decls: list[_DeclRecord]
     reads: set[str]
+    #: Certified fusion-region line spans (FLOW002 suppression).
+    fused_spans: tuple[tuple[int, int], ...] = ()
+
+    def in_fused_span(self, store: int | None, overwrite: int | None) -> bool:
+        """Both lines inside one certified fusion region."""
+        if store is None or overwrite is None:
+            return False
+        return any(
+            start <= store and overwrite <= end
+            for start, end in self.fused_spans
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -103,6 +103,8 @@ class DbnExtension(MoaExtension):
         self._check = check
         #: Model-lint diagnostics collected across registrations.
         self.diagnostics: list[Any] = []
+        #: Per-model inference cost estimates recorded at registration.
+        self._model_costs: dict[str, float] = {}
 
     def monet_module(self) -> MonetModule:
         return self._module
@@ -128,6 +130,17 @@ class DbnExtension(MoaExtension):
         template.validate()
         self._templates[name] = template
         self._module.register_model(name, template)
+        # record the static cost estimate so plan choice can weigh models
+        from repro.check.costcheck import estimate_model_cost
+
+        self._model_costs[name] = estimate_model_cost(template)
+
+    def model_cost(self, name: str) -> float:
+        """Per-step inference cost estimate recorded at registration."""
+        try:
+            return self._model_costs[name]
+        except KeyError:
+            raise CobraError(f"no DBN template named {name!r}") from None
 
     def template(self, name: str) -> DbnTemplate:
         try:

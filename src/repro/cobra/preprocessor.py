@@ -108,9 +108,10 @@ class QueryPreprocessor:
         """Ensure all metadata a query needs exists, extracting on demand.
 
         For every required kind and every target video: if events of the
-        kind are absent, pick the best applicable extraction method
-        (highest quality, then lowest cost, feature prerequisites
-        satisfied) and run it, persisting the produced events. Under a
+        kind are absent, pick the best applicable extraction method (the
+        cheapest estimated plan within the top quality band — see
+        :meth:`_choose_method`) and run it, persisting the produced
+        events. Under a
         ``degrade`` policy a kind whose extraction fails is dropped (and
         reported) instead of aborting the whole query.
         """
@@ -154,11 +155,45 @@ class QueryPreprocessor:
 
     # ------------------------------------------------------------------
     def _choose_method(self, kind: str, video_id: str) -> ExtractionMethod | None:
+        """Cost-model plan choice over the applicable extraction methods.
+
+        The catalog's static ordering (quality, then declared unit cost)
+        ignores the document: a method with a low unit cost can still be
+        the expensive plan when its prerequisite feature tracks are long.
+        Selection therefore keeps the methods within
+        :data:`repro.check.costcheck.QUALITY_TOLERANCE` of the best
+        applicable quality and picks the lowest *estimated* cost —
+        ``unit cost x feature rows actually scanned on this document``
+        (:func:`repro.check.costcheck.estimate_extraction_cost`) — with
+        quality, then name, as deterministic tie-breaks.
+        """
+        from repro.check.costcheck import (
+            QUALITY_TOLERANCE,
+            estimate_extraction_cost,
+        )
+
         document = self._metadata.document(video_id)
-        for method in self._knowledge.methods_for(kind):
-            if all(document.has_feature(f) for f in method.requires_features):
-                return method
-        return None
+        applicable = [
+            method
+            for method in self._knowledge.methods_for(kind)
+            if all(document.has_feature(f) for f in method.requires_features)
+        ]
+        if not applicable:
+            return None
+        best_quality = max(method.quality for method in applicable)
+        band = [
+            method
+            for method in applicable
+            if method.quality >= best_quality - QUALITY_TOLERANCE
+        ]
+        return min(
+            band,
+            key=lambda method: (
+                estimate_extraction_cost(method, document),
+                -method.quality,
+                method.name,
+            ),
+        )
 
     def _breaker_for(self, method: ExtractionMethod) -> CircuitBreaker:
         breaker = self._breakers.get(method.name)

@@ -144,6 +144,12 @@ class MilPlan:
     proc_name: str
     mil_source: str
     input_names: tuple[str, ...]
+    #: :class:`repro.check.fusecheck.FusionPlan` of the emitted procedure
+    #: (``None`` when the kernel compiled with ``check="off"``).
+    fusion_plan: Any = None
+    #: Cost-model estimate of the source Moa expression, in abstract work
+    #: units (``None`` when checking is off).
+    estimated_cost: float | None = None
 
 
 class MoaCompiler:
@@ -243,12 +249,23 @@ class MoaCompiler:
             f"}}\n"
         )
         self._kernel.run(source)
-        return MilPlan(proc_name, source, tuple(inputs))
+        fusion_plan = getattr(
+            self._kernel.interpreter.procedures.get(proc_name), "fusion_plan", None
+        )
+        estimated_cost = None
+        if self._check != "off":
+            from repro.check.costcheck import estimate_moa_cost
+
+            estimated_cost = estimate_moa_cost(expr)
+        return MilPlan(
+            proc_name, source, tuple(inputs), fusion_plan, estimated_cost
+        )
 
     def _precheck(self, expr: Expr) -> None:
         if self._check == "off":
             return
         # imported lazily: repro.check.moacheck imports repro.moa.algebra
+        from repro.check.costcheck import check_moa_cost
         from repro.check.flowcheck import check_moa_flow
         from repro.check.moacheck import MoaChecker
         from repro.errors import MoaCheckError
@@ -257,6 +274,7 @@ class MoaCompiler:
             expr, source="<moa-plan>"
         )
         report.extend(check_moa_flow(expr, source="<moa-plan>"))
+        report.extend(check_moa_cost(expr, source="<moa-plan>"))
         self.diagnostics.extend(report)
         if self._check in ("error", "sanitize"):
             report.raise_if_errors("Moa plan", MoaCheckError)

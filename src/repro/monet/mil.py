@@ -203,6 +203,9 @@ class MilProcedure:
     """A parsed MIL procedure, callable through the interpreter."""
 
     definition: ProcDef
+    #: :class:`repro.check.fusecheck.FusionPlan` attached at define time
+    #: (``None`` when the procedure was registered with ``check="off"``).
+    fusion_plan: Any = None
 
     @property
     def name(self) -> str:
@@ -567,11 +570,15 @@ class MilInterpreter:
     ) -> MilProcedure:
         """Register a PROC, statically checking it first.
 
-        Three passes run on every definition: the per-statement checker
+        Five passes run on every definition: the per-statement checker
         (:mod:`repro.check.milcheck`), the dataflow/range analysis
-        (:mod:`repro.check.flowcheck`), and the PARALLEL race analysis
-        (:mod:`repro.check.racecheck`). With ``check="error"`` (the
-        default) or ``check="sanitize"`` error-severity findings raise
+        (:mod:`repro.check.flowcheck`), the PARALLEL race analysis
+        (:mod:`repro.check.racecheck`), the plan-cost analysis
+        (:mod:`repro.check.costcheck`, advisory ``PERF`` hints), and the
+        purity/fusibility analysis (:mod:`repro.check.fusecheck`), whose
+        :class:`repro.check.fusecheck.FusionPlan` is attached to the
+        registered procedure. With ``check="error"`` (the default) or
+        ``check="sanitize"`` error-severity findings raise
         :class:`repro.errors.MilCheckError` and the procedure is NOT
         registered; ``check="warn"`` collects diagnostics without raising;
         ``check="off"`` skips analysis. All findings land in
@@ -582,9 +589,12 @@ class MilInterpreter:
         mode = self._check if check is None else check
         if isinstance(definition, MilProcedure):
             definition = definition.definition
+        fusion_plan = None
         if mode != "off":
             # imported lazily: repro.check.milcheck imports this module
+            from repro.check.costcheck import CostChecker
             from repro.check.flowcheck import FlowChecker
+            from repro.check.fusecheck import FuseChecker
             from repro.check.milcheck import MilChecker
             from repro.check.racecheck import RaceChecker
             from repro.errors import MilCheckError
@@ -604,12 +614,19 @@ class MilInterpreter:
             report.extend(
                 RaceChecker(**environment).check_proc(definition, source=source)
             )
+            report.extend(
+                CostChecker(**environment).check_proc(definition, source=source)
+            )
+            fusion_plan, fuse_report = FuseChecker(
+                **environment
+            ).analyze_with_report(definition, source=source)
+            report.extend(fuse_report)
             self.diagnostics.extend(report)
             if mode in ("error", "sanitize"):
                 report.raise_if_errors(
                     f"PROC {definition.name}", MilCheckError
                 )
-        proc = MilProcedure(definition)
+        proc = MilProcedure(definition, fusion_plan=fusion_plan)
         self._procs[definition.name] = proc
         if self._on_define is not None:
             self._on_define(proc)

@@ -8,12 +8,48 @@ BAT groups — the mechanics the Cobra metadata store is built on.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.errors import BatError
 from repro.monet.bat import BAT
 
-__all__ = ["decompose", "reconstruct", "project", "group_count"]
+__all__ = [
+    "BatStats",
+    "bat_stats",
+    "decompose",
+    "reconstruct",
+    "project",
+    "group_count",
+]
+
+
+@dataclass(frozen=True)
+class BatStats:
+    """Measured physical facts of one live BAT.
+
+    The static cost analysis (:mod:`repro.check.costcheck`) seeds
+    BAT-typed procedure parameters from these when the caller has the
+    actual input BATs in hand, replacing the :data:`DEFAULT_CARD`
+    assumption with real cardinalities and access-path facts.
+    """
+
+    rows: int
+    keyed_head: bool
+    sorted_tail: bool
+
+
+def bat_stats(bat: BAT) -> BatStats:
+    """Measure ``(rows, keyed head, sorted tail)`` of one BAT."""
+    rows = bat.count()
+    heads = bat.heads()
+    keyed = bat.head_type == "void" or len(set(heads)) == len(heads)
+    tails = bat.tails()
+    try:
+        sorted_tail = all(a <= b for a, b in zip(tails, tails[1:]))
+    except TypeError:  # mixed/unorderable tails: no sorted access path
+        sorted_tail = False
+    return BatStats(rows=rows, keyed_head=keyed, sorted_tail=sorted_tail)
 
 
 def decompose(

@@ -1,0 +1,242 @@
+"""Effect inference, fusion regions, and the FusionPlan artifact."""
+
+import pytest
+
+from repro.check.diagnostics import Severity
+from repro.check.flowcheck import FlowChecker
+from repro.check.fusecheck import FuseChecker, FusionPlan
+from repro.monet.kernel import MonetKernel
+from repro.monet.mil import parse
+
+
+@pytest.fixture(scope="module")
+def env():
+    from repro.cobra.vdbms import CobraVDBMS
+
+    kernel = CobraVDBMS(check="off").kernel
+    return dict(
+        commands=kernel.command_names(),
+        signatures=kernel.command_signatures(),
+        globals_names=kernel.catalog_names(),
+        procedures=kernel.interpreter.procedures,
+    )
+
+
+def analyze(source: str, env: dict):
+    definition = parse(source)[0]
+    return FuseChecker(**env).analyze_with_report(definition, source="<test>")
+
+
+# ---------------------------------------------------------------------------
+# effect inference
+# ---------------------------------------------------------------------------
+
+
+class TestEffects:
+    def test_pure_bat_method(self, env):
+        stmt = parse(
+            "PROC p(BAT[void,dbl] f) : any := { VAR a := f.select(0.1, 0.9); }"
+        )[0].body[0]
+        effects = FuseChecker(**env).infer_effects(stmt)
+        assert effects.pure
+        assert effects.bat_compute
+        assert effects.reads == ("f",)
+        assert effects.writes == ("a",)
+
+    def test_append_is_pure_but_recorded(self, env):
+        stmt = parse(
+            'PROC p(BAT[str,dbl] b) : any := { b.insert("x", 0.5); }'
+        )[0].body[0]
+        effects = FuseChecker(**env).infer_effects(stmt)
+        assert effects.pure
+        assert effects.appends == ("b",)
+
+    def test_catalog_command_commits(self, env):
+        stmt = parse(
+            'PROC p(BAT[void,dbl] f) : any := { persist("f", f); }'
+        )[0].body[0]
+        effects = FuseChecker(**env).infer_effects(stmt)
+        assert effects.commits
+        assert not effects.pure
+
+    def test_impure_scheduler_command(self, env):
+        stmt = parse("PROC p() : any := { VAR n := threadcnt(3); }")[0].body[0]
+        effects = FuseChecker(**env).infer_effects(stmt)
+        assert not effects.pure
+        assert "threadcnt" in effects.impure
+
+    def test_unknown_call_conservatively_impure(self, env):
+        stmt = parse("PROC p() : any := { VAR x := mystery(1); }")[0].body[0]
+        assert not FuseChecker(**env).infer_effects(stmt).pure
+
+    def test_new_allocates_without_reading_type_atoms(self, env):
+        stmt = parse("PROC p() : any := { VAR out := new(void, dbl); }")[0].body[0]
+        effects = FuseChecker(**env).infer_effects(stmt)
+        assert effects.allocates
+        assert effects.reads == ()
+
+
+# ---------------------------------------------------------------------------
+# region partitioning
+# ---------------------------------------------------------------------------
+
+STRAIGHT_LINE = """
+PROC straight(BAT[void,dbl] f) : any := {
+  VAR a := mselect(f, ">", 0.2);
+  VAR b := mmap(a, "*", 2.0);
+  RETURN b;
+}
+"""
+
+SPLIT_BY_BARRIER = """
+PROC split(BAT[void,dbl] f) : any := {
+  VAR a := mselect(f, ">", 0.2);
+  VAR n := threadcnt(2);
+  VAR b := mmap(a, "*", 2.0);
+  RETURN b;
+}
+"""
+
+PARALLEL_CONFLICT = """
+PROC conflict(BAT[void,dbl] shared) : any := {
+  PARALLEL {
+    shared.replace(0, 0.1);
+    VAR t := mselect(shared, ">", 0.5);
+  }
+  RETURN shared;
+}
+"""
+
+
+class TestRegions:
+    def test_straight_line_is_one_certified_region(self, env):
+        plan, report = analyze(STRAIGHT_LINE, env)
+        assert len(plan) == 1
+        region = plan.regions[0]
+        assert region.certified
+        assert region.statements == 3
+        assert region.inputs == ("f",)
+        assert set(region.outputs) == {"a", "b"}
+        diagnostics = list(report)
+        assert [d.code for d in diagnostics] == ["FUSE001"]
+        assert diagnostics[0].severity == Severity.INFO
+
+    def test_single_barrier_between_regions_is_fuse002(self, env):
+        plan, report = analyze(SPLIT_BY_BARRIER, env)
+        assert len(plan.certified) == 2
+        codes = [d.code for d in report]
+        assert "FUSE002" in codes
+        fuse002 = next(d for d in report if d.code == "FUSE002")
+        assert "threadcnt" in fuse002.message
+
+    def test_cross_branch_conflict_denies_certification(self, env):
+        plan, report = analyze(PARALLEL_CONFLICT, env)
+        assert plan.certified == ()
+        assert len(plan) == 2
+        codes = [d.code for d in report]
+        assert codes.count("FUSE003") == 2
+        assert all("shared" in d.message for d in report)
+
+    def test_parallel_appends_commute(self, env):
+        """Fig. 4 shape: concurrent inserts stay certified."""
+        source = """
+PROC fanout(BAT[void,int] obs) : str := {
+  VAR acc := new(str, flt);
+  PARALLEL {
+    acc.insert("m0", hmmOneCall(0, "m0", obs));
+    acc.insert("m1", hmmOneCall(1, "m1", obs));
+  }
+  RETURN acc.max;
+}
+"""
+        plan, _ = analyze(source, env)
+        branch_regions = [r for r in plan.regions if "parallel" in r.path]
+        assert len(branch_regions) == 2
+        assert all(r.certified for r in branch_regions)
+
+
+# ---------------------------------------------------------------------------
+# the artifact: attachment and serialization
+# ---------------------------------------------------------------------------
+
+
+class TestArtifact:
+    def test_seed_parallel_hmm_has_nontrivial_plan(self):
+        """Acceptance: the Fig. 4 proc yields >= 2 certified regions."""
+        from repro.cobra.vdbms import CobraVDBMS
+        from repro.hmm.parallel import build_parallel_eval_proc
+
+        vdbms = CobraVDBMS(check="warn")
+        source = build_parallel_eval_proc(
+            "hmmP", [f"model{i}" for i in range(6)], n_servers=6
+        )
+        vdbms.kernel.run(source)
+        plan = vdbms.kernel.interpreter.procedures["hmmP"].fusion_plan
+        assert isinstance(plan, FusionPlan)
+        assert len(plan.certified) >= 2
+        # the epilogue (max + reverse.find) fuses into one multi-stmt region
+        assert any(
+            r.statements >= 2 for r in plan.certified if r.path == "body"
+        )
+
+    def test_seed_dbn_infer_proc_has_plan(self):
+        from repro.cobra.vdbms import CobraVDBMS
+
+        proc = CobraVDBMS().kernel.interpreter.procedures["dbnInferP"]
+        assert proc.fusion_plan is not None
+        assert len(proc.fusion_plan.certified) >= 1
+
+    def test_check_off_skips_plan(self):
+        kernel = MonetKernel(check="off")
+        kernel.run("PROC noop(int n) : int := { RETURN n; }")
+        assert kernel.interpreter.procedures["noop"].fusion_plan is None
+
+    def test_round_trip(self, env):
+        plan, _ = analyze(SPLIT_BY_BARRIER, env)
+        data = plan.to_dict()
+        assert data["artifact"] == "repro.fusionplan/1"
+        restored = FusionPlan.from_dict(data)
+        assert restored == plan
+
+
+# ---------------------------------------------------------------------------
+# FLOW002 interaction: fused temporaries are not dead stores
+# ---------------------------------------------------------------------------
+
+FUSED_OVERWRITE = """
+PROC fused(BAT[void,dbl] f) : any := {
+  VAR out := new(void, dbl);
+  out := mselect(f, ">", 0.5);
+  RETURN out;
+}
+"""
+
+UNFUSED_OVERWRITE = """
+PROC unfused(BAT[void,dbl] f) : any := {
+  VAR out := new(void, dbl);
+  VAR n := threadcnt(2);
+  out := mselect(f, ">", 0.5);
+  RETURN out;
+}
+"""
+
+
+class TestFlow002Suppression:
+    def test_bat_overwrite_inside_fused_region_not_dead(self, env):
+        report = FlowChecker(**env).check_source(FUSED_OVERWRITE, name="<t>")
+        assert "FLOW002" not in [d.code for d in report]
+
+    def test_same_overwrite_across_barrier_still_dead(self, env):
+        report = FlowChecker(**env).check_source(UNFUSED_OVERWRITE, name="<t>")
+        assert "FLOW002" in [d.code for d in report]
+
+    def test_scalar_dead_store_still_fires(self, env):
+        source = """
+PROC scalar(int n) : int := {
+  VAR x := 1;
+  x := 2;
+  RETURN x;
+}
+"""
+        report = FlowChecker(**env).check_source(source, name="<t>")
+        assert "FLOW002" in [d.code for d in report]

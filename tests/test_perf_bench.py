@@ -1,0 +1,46 @@
+"""Smoke test for the perf microbenchmark harness (benchmarks/perf)."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+HARNESS = REPO / "benchmarks" / "perf" / "harness.py"
+
+
+def test_harness_writes_bench_document(tmp_path):
+    out = tmp_path / "BENCH_perf.json"
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(HARNESS),
+            "--rows",
+            "300",
+            "--repeats",
+            "1",
+            "--out",
+            str(out),
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=tmp_path,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    document = json.loads(out.read_text())
+    assert document["schema"] == "repro-bench-perf/1"
+    assert document["executor"] == "interpreter"
+    assert set(document["benchmarks"]) == {
+        "select_chain",
+        "join_aggregate",
+        "dbn_inference",
+        "end_to_end_query",
+    }
+    for stats in document["benchmarks"].values():
+        assert stats["mean_s"] > 0
+        assert stats["min_s"] <= stats["mean_s"] <= stats["max_s"]
+        assert stats["rows_per_s"] > 0
