@@ -10,7 +10,10 @@ fused compiler would accelerate —
 * ``dbn_inference`` — filtered posterior of the two-node H→O DBN over a
   symbol stream;
 * ``end_to_end_query`` — a full COQL round through :class:`CobraVDBMS`
-  (parse → preprocess → execute) against a synthetic document
+  (parse → preprocess → execute) against a synthetic document;
+* ``replicated_read_fanout`` — aggregate reads routed across a replicated
+  kernel group (one primary + two WAL-shipped replicas) under a mix of
+  ``primary`` / ``any`` / ``bounded(ms)`` read policies
 
 — and writes per-benchmark mean/min/max seconds plus derived rows/s into a
 ``BENCH_perf.json`` document (schema ``repro-bench-perf/1``). CI uploads
@@ -160,11 +163,52 @@ def bench_end_to_end_query(rows: int, repeats: int) -> dict:
     )
 
 
+def bench_replicated_read_fanout(rows: int, repeats: int) -> dict:
+    import tempfile
+
+    from repro.monet.kernel import MonetKernel
+    from repro.replication import GroupConfig, KernelGroup
+
+    reads_per_repeat = 30
+    policies = ("primary", "any", "bounded(250)")
+    with tempfile.TemporaryDirectory(prefix="repro-bench-repl-") as scratch:
+        base = Path(scratch)
+        # fsync off: this measures routing + replica-read overhead, not
+        # disk latency
+        from repro.durability.store import DurableStore
+
+        primary = MonetKernel(
+            threads=1,
+            check="off",
+            store=DurableStore(base / "primary", fsync=False),
+        )
+        primary.persist("bench_f", _feature_bat(rows, seed=6))
+        group = KernelGroup(
+            primary,
+            base,
+            replicas=("replica-0", "replica-1"),
+            config=GroupConfig(read_policy="any", fsync=False),
+        )
+        group.pump()
+
+        def fanout() -> None:
+            for index in range(reads_per_repeat):
+                routed = group.route_read(policy=policies[index % len(policies)])
+                routed.kernel.bat("bench_f").tail_array().sum()
+
+        summary = _summary(
+            _time(fanout, repeats), rows * reads_per_repeat
+        )
+        group.close()
+        return summary
+
+
 BENCHMARKS = {
     "select_chain": bench_select_chain,
     "join_aggregate": bench_join_aggregate,
     "dbn_inference": bench_dbn_inference,
     "end_to_end_query": bench_end_to_end_query,
+    "replicated_read_fanout": bench_replicated_read_fanout,
 }
 
 

@@ -31,7 +31,12 @@ the reproduction's three levels:
   plans execute;
 * :mod:`repro.check.servicecheck` — service-readiness checks run when a
   PROC is registered with :class:`repro.service.QueryService` (``SVCnnn``
-  codes): unbounded ``WHILE`` loops must carry a ``cancelpoint()``.
+  codes): unbounded ``WHILE`` loops must carry a ``cancelpoint()``;
+* :mod:`repro.check.replcheck` — replication-topology checks run when a
+  :class:`repro.replication.KernelGroup` is constructed (``REPLnnn``
+  codes): writes must route to the primary, epoch fencing must be on,
+  and the ``bounded(ms)`` read policy must be satisfiable against the
+  replicas' registered link lag.
 
 All passes report :class:`Diagnostic` findings through a shared
 :class:`DiagnosticReport`; error-severity findings raise the matching
@@ -81,6 +86,7 @@ from repro.check.moacheck import MoaChecker
 from repro.check.moacheck import check_expr as check_moa_expr
 from repro.check.modelcheck import check_cpd, check_network, check_template
 from repro.check.racecheck import RaceChecker, check_race_source
+from repro.check.replcheck import check_group_config, parse_read_policy
 from repro.check.sanitize import KernelSanitizer
 from repro.check.servicecheck import (
     ServiceChecker,
@@ -110,6 +116,7 @@ __all__ = [
     "check_feature_set",
     "check_flow_source",
     "check_fuse_source",
+    "check_group_config",
     "check_mil_proc",
     "check_mil_source",
     "check_moa_cost",
@@ -123,4 +130,5 @@ __all__ = [
     "estimate_extraction_cost",
     "estimate_model_cost",
     "estimate_moa_cost",
+    "parse_read_policy",
 ]

@@ -7,10 +7,11 @@ Usage::
     python -m repro.durability compact <store-dir>   # fold WAL -> checkpoint
     python -m repro.durability sweep [--dir DIR]     # kill-point sweep
 
-``verify`` exits non-zero when the store is unrecoverable or the recovered
-catalog violates the :mod:`repro.check` invariants; ``sweep`` exits
-non-zero when any crash point fails to recover to the last committed state
-(the CI ``crash-recovery`` job gates on this).
+``verify`` exits non-zero when the store is unrecoverable, the recovered
+catalog violates the :mod:`repro.check` invariants, or catalogcheck
+reports *any* CAT finding (warnings included) — so CI can gate on a clean
+store; ``sweep`` exits non-zero when any crash point fails to recover to
+the last committed state (the CI ``crash-recovery`` job gates on this).
 """
 
 from __future__ import annotations
@@ -81,6 +82,13 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         f"catalog invariants (CAT001-CAT006): checked, "
         f"{len(findings)} finding(s)"
     )
+    if findings:
+        # any finding — warnings included — fails verification, so CI can
+        # gate on a clean store rather than merely a recoverable one
+        for diagnostic in findings:
+            print(f"  {diagnostic}")
+        print("store is recoverable but NOT clean")
+        return 1
     print("store is recoverable")
     return 0
 

@@ -69,6 +69,9 @@ CRASH_SITES: dict[str, str] = {
     "wal.commit:synced": DURABLE,
     "checkpoint:before": NEUTRAL,
     "checkpoint:temp-written": NEUTRAL,
+    # renamed over the old checkpoint but the directory entry is not yet
+    # fsynced — the window the parent-directory fsync exists to cover
+    "checkpoint:replaced": NEUTRAL,
     "checkpoint:renamed": NEUTRAL,
     "checkpoint:truncated": NEUTRAL,
 }

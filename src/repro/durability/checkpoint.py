@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Mapping
 
-from repro.durability.wal import bat_from_payload, bat_to_payload
+from repro.durability.wal import bat_from_payload, bat_to_payload, fsync_directory
 from repro.errors import RecoveryError
 from repro.faults import FaultInjector
 from repro.monet.bat import BAT
@@ -78,8 +78,11 @@ def write_checkpoint(
 
     Crash points: ``checkpoint:before`` (nothing written),
     ``checkpoint:temp-written`` (temp file complete, not yet renamed),
-    ``checkpoint:renamed`` (new checkpoint live, caller has not yet
-    truncated the WAL). All three leave a recoverable store.
+    ``checkpoint:replaced`` (renamed over the old checkpoint, but the
+    directory entry for the rename is not yet fsynced — power loss here
+    may surface either checkpoint, both of which must recover),
+    ``checkpoint:renamed`` (rename durable on the directory entry, caller
+    has not yet truncated the WAL). All four leave a recoverable store.
     """
     faults = faults if faults is not None else FaultInjector.disabled()
     directory = Path(directory)
@@ -99,8 +102,9 @@ def write_checkpoint(
             os.fsync(fh.fileno())
     faults.on_call("checkpoint:temp-written")
     os.replace(temp, final)
+    faults.on_call("checkpoint:replaced")
     if fsync:
-        _fsync_directory(directory)
+        fsync_directory(directory)
     faults.on_call("checkpoint:renamed")
     return final
 
@@ -142,14 +146,6 @@ def read_checkpoint(directory: str | Path) -> Checkpoint | None:
         procs=procs,
         modules=list(body.get("modules", [])),
     )
-
-
-def _fsync_directory(directory: Path) -> None:
-    fd = os.open(directory, os.O_RDONLY)
-    try:
-        os.fsync(fd)
-    finally:
-        os.close(fd)
 
 
 def pickle_definition(definition: Any) -> bytes:

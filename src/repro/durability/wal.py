@@ -50,6 +50,7 @@ __all__ = [
     "decode_value",
     "encode_record",
     "encode_value",
+    "fsync_directory",
     "read_records",
 ]
 
@@ -220,12 +221,19 @@ class WriteAheadLog:
     def open(self) -> None:
         if self._file is not None:
             return
-        is_new = not self.path.exists() or self.path.stat().st_size == 0
+        existed = self.path.exists()
+        is_new = not existed or self.path.stat().st_size == 0
         self._file = open(self.path, "ab")
         if is_new:
             self._file.write(MAGIC)
             self._file.flush()
             self._sync()
+            if not existed and self._fsync:
+                # fsyncing the file makes its *contents* durable; a freshly
+                # created file also needs its directory entry persisted, or
+                # power loss can lose the whole log despite every record
+                # fsync that follows
+                fsync_directory(self.path.parent)
 
     def close(self) -> None:
         if self._file is not None:
@@ -319,3 +327,17 @@ def require_directory(path: str | Path) -> Path:
         raise DurabilityError(f"store path {path} exists and is not a directory")
     path.mkdir(parents=True, exist_ok=True)
     return path
+
+
+def fsync_directory(directory: str | Path) -> None:
+    """Persist a directory's entries (file creations and renames).
+
+    An fsync of a file does not cover the directory entry that names it:
+    after creating or renaming a file, the parent directory must itself be
+    fsynced or power loss can unlink the file despite its durable contents.
+    """
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)

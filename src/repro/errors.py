@@ -197,6 +197,37 @@ class RecoveryError(DurabilityError, PermanentError):
     """
 
 
+class ReplicationError(MonetError):
+    """Error in the replicated kernel group (WAL shipping, failover)."""
+
+
+class FencedWriteError(ReplicationError, PermanentError):
+    """A write carrying a stale epoch was rejected by the fence.
+
+    Raised when a deposed primary (or any holder of an old epoch lease)
+    tries to mutate the group after a failover. Permanent by design: the
+    caller's view of the world is obsolete and retrying the same write
+    under the same lease can never succeed — it must re-acquire a lease
+    from the current primary. Carries both epochs for the audit trail.
+    """
+
+    def __init__(self, message: str, lease_epoch: int, group_epoch: int):
+        self.lease_epoch = lease_epoch
+        self.group_epoch = group_epoch
+        super().__init__(
+            f"{message} (lease epoch {lease_epoch}, group epoch {group_epoch})"
+        )
+
+
+class StalenessBoundError(ReplicationError, TransientError):
+    """No group node could satisfy a staleness-bounded read right now.
+
+    Transient — replicas catch up and partitions heal — so a client may
+    retry, but the group never silently serves data staler than the bound
+    the caller asked for.
+    """
+
+
 class MilError(MonetError):
     """Base error for the MIL interpreter."""
 
@@ -335,6 +366,15 @@ class SanitizerError(DiagnosticError, MonetError):
 
 class MoaCheckError(DiagnosticError, MoaError):
     """Static analysis rejected a Moa expression before compilation."""
+
+
+class ReplicationCheckError(DiagnosticError, ReplicationError):
+    """Static analysis rejected a kernel-group configuration.
+
+    Raised at :class:`repro.replication.KernelGroup` construction when the
+    REPL diagnostic family finds error-severity misconfigurations (writes
+    routed to a replica, fencing disabled, an unsatisfiable staleness
+    bound)."""
 
 
 class ModelCheckError(DiagnosticError, InferenceError):

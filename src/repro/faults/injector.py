@@ -200,6 +200,52 @@ class FaultInjector:
         return extra
 
     # ------------------------------------------------------------------
+    # replication-link hooks (partition / lag)
+    # ------------------------------------------------------------------
+    def link_partitioned(self, site: str) -> bool:
+        """Whether a replication link is severed for this shipment round.
+
+        The kernel group consults this once per replica per pump (site
+        ``replication.link:<replica>``); a firing ``partition`` spec drops
+        the whole shipment, so the replica receives nothing and its lag
+        grows. The link heals as soon as the spec stops firing (rate or
+        ``max_triggers`` exhausted) — catch-up recovery then ships the
+        checkpoint snapshot + WAL tail the replica missed.
+        """
+        if self.plan is None:
+            return False
+        specs = self._matching(site, ("partition",))
+        if not specs:
+            return False
+        invocation = self._next_invocation(site)
+        for index, spec in specs:
+            if self._fire(index, spec, site, invocation):
+                self._log(site, spec, invocation, "link down")
+                return True
+        return False
+
+    def link_lag(self, site: str) -> int:
+        """How many of the newest unshipped records to withhold this round.
+
+        A firing ``lag`` spec keeps the replica ``spec.factor`` records
+        behind the primary per trigger (summed across firing specs) without
+        severing the link — the slow-follower regime staleness-bounded
+        read routing must handle. Returns 0 when nothing fires.
+        """
+        if self.plan is None:
+            return 0
+        specs = self._matching(site, ("lag",))
+        if not specs:
+            return 0
+        invocation = self._next_invocation(site)
+        withheld = 0
+        for index, spec in specs:
+            if self._fire(index, spec, site, invocation):
+                self._log(site, spec, invocation, f"withheld={spec.factor}")
+                withheld += spec.factor
+        return withheld
+
+    # ------------------------------------------------------------------
     # data hooks (drop / corrupt)
     # ------------------------------------------------------------------
     def should_drop(self, site: str) -> bool:

@@ -36,8 +36,19 @@ __all__ = ["FaultSpec", "FaultPlan", "FAULT_KINDS"]
 #:   service synthesizes as clone requests to drive overload,
 #: * ``kill``    — raise :class:`repro.errors.SimulatedCrash`, modelling a
 #:   process kill at a named WAL/checkpoint crash point (the chaos harness
-#:   in :mod:`repro.durability.chaos` recovers from disk afterwards).
-FAULT_KINDS = ("fail", "delay", "stall", "drop", "corrupt", "burst", "kill")
+#:   in :mod:`repro.durability.chaos` recovers from disk afterwards),
+#: * ``partition`` — sever a replication link for one shipment round: the
+#:   :meth:`repro.faults.injector.FaultInjector.link_partitioned` hook
+#:   reports the link down, so no WAL records flow and the replica's lag
+#:   grows (heals when the spec stops firing),
+#: * ``lag``     — slow a replication link without severing it: the
+#:   :meth:`repro.faults.injector.FaultInjector.link_lag` hook withholds
+#:   the newest ``factor`` unshipped records per round, keeping the
+#:   replica a bounded distance behind the primary.
+FAULT_KINDS = (
+    "fail", "delay", "stall", "drop", "corrupt", "burst", "kill",
+    "partition", "lag",
+)
 
 
 @dataclass(frozen=True)
@@ -58,7 +69,9 @@ class FaultSpec:
             (fraction of samples dropped out / frames frozen / characters
             garbled / noise amplitude).
         factor: for ``kind="burst"`` — how many extra duplicate arrivals
-            each trigger injects on top of the real one.
+            each trigger injects on top of the real one; for ``kind="lag"``
+            — how many of the newest unshipped WAL records each trigger
+            withholds from a replication shipment.
         max_triggers: cap on how many times this spec may fire (``None`` =
             unlimited).
         message: override for the injected error message.
@@ -137,6 +150,8 @@ class FaultPlan:
                 "corrupt": f"severity={spec.severity}",
                 "burst": f"factor={spec.factor}",
                 "kill": "",
+                "partition": "",
+                "lag": f"factor={spec.factor}",
             }[spec.kind]
             cap = f" max={spec.max_triggers}" if spec.max_triggers else ""
             lines.append(

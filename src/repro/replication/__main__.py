@@ -1,0 +1,88 @@
+"""Run the replication chaos suite and emit its convergence report.
+
+Usage::
+
+    python -m repro.replication [--dir DIR] [--out FILE] [--seed N]
+                                [--no-fsync]
+
+Runs the seeded partition/failover scenario twice (the two runs must
+produce byte-identical reports — chaos as a reproducible test, not
+flakiness), then the commit-path kill sweep (primary killed
+mid-transaction at each ``wal.commit:*`` crash point). Exits non-zero if
+any run fails to converge byte-for-byte, accepts a fenced write, or the
+two seeded runs diverge. ``--out`` writes the JSON convergence report the
+CI ``replication-chaos`` job uploads as an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.replication.chaos import (
+    partition_failover_scenario,
+    replication_kill_sweep,
+)
+
+REPORT_FORMAT = "repro-replication-chaos/1"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.replication",
+        description="Seeded partition/failover chaos for the kernel group.",
+    )
+    parser.add_argument(
+        "--dir", default=None, help="scratch directory (default: a temp dir)"
+    )
+    parser.add_argument(
+        "--out", default=None, help="write the JSON convergence report here"
+    )
+    parser.add_argument("--seed", type=int, default=2026)
+    parser.add_argument(
+        "--no-fsync", action="store_true", help="skip fsync calls (faster)"
+    )
+    args = parser.parse_args(argv)
+    base = Path(args.dir or tempfile.mkdtemp(prefix="repro-replication-"))
+    fsync = not args.no_fsync
+
+    print(f"seeded partition/failover scenario (seed={args.seed}) under {base}")
+    first = partition_failover_scenario(
+        base / "run-1", seed=args.seed, fsync=fsync
+    )
+    second = partition_failover_scenario(
+        base / "run-2", seed=args.seed, fsync=fsync
+    )
+    print(first.describe())
+    deterministic = first.to_dict() == second.to_dict()
+    if not deterministic:
+        print("NON-DETERMINISTIC: two runs of the same seed diverged")
+
+    print("commit-path kill sweep (primary killed mid-transaction):")
+    sweep = replication_kill_sweep(base / "sweep", seed=args.seed, fsync=fsync)
+    print(sweep.describe())
+
+    ok = first.ok and second.ok and deterministic and sweep.ok
+    report = {
+        "format": REPORT_FORMAT,
+        "seed": args.seed,
+        "deterministic": deterministic,
+        "scenario": first.to_dict(),
+        "sweep": sweep.to_dict(),
+        "ok": ok,
+    }
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"convergence report written to {args.out}")
+    print("replication chaos: " + ("CONVERGED" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,359 @@
+"""Seeded chaos verification of the replicated kernel group.
+
+:func:`partition_failover_scenario` drives one deterministic disaster:
+
+1. a primary + two replicas are stood up; a seeded plan partitions
+   ``replica-1``'s link (``kind="partition"``) for the first rounds while
+   ``replica-0`` tracks the primary;
+2. the primary is killed *mid-transaction* (a ``kind="kill"`` fault at a
+   ``wal.commit:*`` crash point) — the WAL is left with whatever the kill
+   allowed to become durable, possibly an uncommitted batch;
+3. probes fail, the circuit breaker opens, and the least-lagged reachable
+   replica (``replica-0``) is promoted — after a final pump that drains
+   the dead primary's durable bytes;
+4. the deposed primary's lease attempts a late write, which the epoch
+   fence must reject;
+5. ``replica-1``'s partition heals; it catches up from the *new* lineage
+   (full checkpoint snapshot + WAL tail) and the group must converge
+   byte-for-byte, with the killed transaction present iff its crash point
+   is classified durable (the same :data:`repro.durability.chaos.CRASH_SITES`
+   contract the single-node kill-point sweep enforces).
+
+Everything is a pure function of the plan seed, so running the scenario
+twice must produce identical reports — the CLI (``python -m
+repro.replication``) checks exactly that and emits the convergence report
+CI archives. :func:`replication_kill_sweep` repeats the scenario with the
+kill at every commit-path crash point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.durability.chaos import CRASH_SITES, DURABLE, compare_catalogs
+from repro.durability.store import DurableStore
+from repro.errors import FencedWriteError, SimulatedCrash
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.monet.bat import BAT
+from repro.monet.kernel import MonetKernel
+from repro.replication.group import GroupConfig, KernelGroup
+
+__all__ = [
+    "KILL_SWEEP_SITES",
+    "ReplicationChaosReport",
+    "ReplicationSweepSummary",
+    "partition_failover_scenario",
+    "replication_kill_sweep",
+]
+
+#: The commit-path crash points the replicated sweep kills the primary at.
+KILL_SWEEP_SITES = (
+    "wal.commit:begin",
+    "wal.commit:mid",
+    "wal.commit:marker",
+    "wal.commit:synced",
+)
+
+_PROC_SOURCE = """
+PROC bestLap(BAT[void,dbl] laps) : dbl := {
+    RETURN laps.min;
+}
+"""
+
+
+def _laps() -> BAT:
+    return BAT.from_columns(
+        "void", "dbl", [0, 1, 2], [78.123, 77.901, 78.456], next_oid=3
+    )
+
+
+def _laps_extended() -> BAT:
+    return BAT.from_columns(
+        "void", "dbl", [0, 1, 2, 3], [78.123, 77.901, 78.456, 77.512],
+        next_oid=4,
+    )
+
+
+def _drivers() -> BAT:
+    return BAT.from_columns(
+        "void", "str", [0, 1], ["hakkinen", "schumacher"], next_oid=2
+    )
+
+
+def _pits() -> BAT:
+    return BAT.from_columns("void", "dbl", [0, 1], [7.8, 8.4], next_oid=2)
+
+
+def _sectors() -> BAT:
+    return BAT.from_columns(
+        "void", "dbl", [0, 1, 2], [-0.12, 0.34, -0.05], next_oid=3
+    )
+
+
+def _fastest() -> BAT:
+    return BAT.from_columns("void", "dbl", [0], [77.512], next_oid=1)
+
+
+def _ranking() -> BAT:
+    return BAT.from_columns("void", "int", [0, 1, 2], [3, 1, 2], next_oid=3)
+
+
+def _ghost() -> BAT:
+    return BAT.from_columns("void", "int", [0], [666], next_oid=1)
+
+
+@dataclass
+class ReplicationChaosReport:
+    """Deterministic outcome of one partition/failover scenario run."""
+
+    kill_site: str
+    classification: str
+    crashed: bool
+    epoch: int
+    promoted: str
+    fenced_writes: int
+    fence_held: bool
+    fatal_txn_expected: bool
+    fatal_txn_present: bool
+    replica_lags: dict[str, int] = field(default_factory=dict)
+    replica_snapshots: dict[str, int] = field(default_factory=dict)
+    failures: list[str] = field(default_factory=list)
+    events: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        lines = [
+            f"{status}  kill@{self.kill_site} [{self.classification}]: "
+            f"epoch {self.epoch}, promoted {self.promoted}, "
+            f"{self.fenced_writes} fenced write(s), fatal txn "
+            f"{'present' if self.fatal_txn_present else 'absent'} "
+            f"(expected "
+            f"{'present' if self.fatal_txn_expected else 'absent'})"
+        ]
+        lines.extend(f"      {failure}" for failure in self.failures)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable, wall-clock-free form (the determinism and CI
+        artifact payload)."""
+        return {
+            "kill_site": self.kill_site,
+            "classification": self.classification,
+            "crashed": self.crashed,
+            "epoch": self.epoch,
+            "promoted": self.promoted,
+            "fenced_writes": self.fenced_writes,
+            "fence_held": self.fence_held,
+            "fatal_txn_expected": self.fatal_txn_expected,
+            "fatal_txn_present": self.fatal_txn_present,
+            "replica_lags": dict(sorted(self.replica_lags.items())),
+            "replica_snapshots": dict(sorted(self.replica_snapshots.items())),
+            "failures": list(self.failures),
+            "events": list(self.events),
+            "ok": self.ok,
+        }
+
+
+def partition_failover_scenario(
+    base_dir: str | Path,
+    seed: int = 2026,
+    kill_site: str = "wal.commit:mid",
+    fsync: bool = True,
+) -> ReplicationChaosReport:
+    """Run the seeded kill/partition/failover/heal scenario once."""
+    base = Path(base_dir)
+    classification = CRASH_SITES.get(kill_site, "absent")
+    plan = FaultPlan(
+        seed=seed,
+        name=f"replication-chaos@{kill_site}",
+        specs=(
+            FaultSpec(site=kill_site, kind="kill", max_triggers=1),
+            # replica-1's link is down for the first three shipment rounds
+            # (two workload pumps + the failover drain), then heals
+            FaultSpec(
+                site="replication.link:replica-1",
+                kind="partition",
+                max_triggers=3,
+            ),
+        ),
+    )
+    injector = FaultInjector(plan)
+    report = ReplicationChaosReport(
+        kill_site=kill_site,
+        classification=classification,
+        crashed=False,
+        epoch=0,
+        promoted="",
+        fenced_writes=0,
+        fence_held=False,
+        fatal_txn_expected=classification == DURABLE,
+        fatal_txn_present=False,
+    )
+    events = report.events
+
+    store = DurableStore(base / "primary", faults=injector, fsync=fsync)
+    primary = MonetKernel(threads=1, check="warn", store=store)
+    group = KernelGroup(
+        primary,
+        base,
+        replicas=("replica-0", "replica-1"),
+        config=GroupConfig(
+            read_policy="bounded(250)",
+            failure_threshold=2,
+            fsync=fsync,
+            registered_lag_ms={"replica-0": 10.0, "replica-1": 40.0},
+        ),
+        faults=injector,
+    )
+
+    expected: dict[str, BAT] = {}
+    lease = group.lease()
+    lease.write(lambda k: k.persist("lap_time", _laps()))
+    lease.write(lambda k: k.persist("driver", _drivers()))
+    lease.write(lambda k: k.run(_PROC_SOURCE))
+    expected["lap_time"] = _laps()
+    expected["driver"] = _drivers()
+    group.pump()
+    events.append("setup shipped; replica-1 link partitioned")
+    lease.write(lambda k: k.persist("pit_stop", _pits()))
+    expected["pit_stop"] = _pits()
+    group.pump()
+
+    # the fatal transaction: killed at the configured crash point
+    def fatal(kernel: MonetKernel) -> None:
+        with kernel.transaction():
+            kernel.persist("sector_delta", _sectors())
+            kernel.persist("fastest_lap", _fastest())
+
+    try:
+        lease.write(fatal)
+    except SimulatedCrash:
+        report.crashed = True
+        group.report_primary_failure()
+        events.append(f"primary killed mid-transaction at {kill_site}")
+    if report.fatal_txn_expected:
+        # the commit marker reached disk before the kill: the transaction
+        # is durable and MUST survive the failover
+        expected["sector_delta"] = _sectors()
+        expected["fastest_lap"] = _fastest()
+
+    # probes fail, the breaker opens, the group promotes
+    group.probe()
+    group.probe()
+    report.epoch = group.epoch
+    report.promoted = group.primary_name
+    events.append(
+        f"failover complete: {group.primary_name} leads epoch {group.epoch}"
+    )
+
+    # the deposed primary's late write must fence
+    try:
+        lease.write(lambda k: k.persist("ghost_write", _ghost()))
+    except FencedWriteError:
+        report.fence_held = True
+        events.append("deposed lease fenced (stale epoch rejected)")
+
+    # life goes on under the new lease; replica-1 heals and re-seeds
+    new_lease = group.lease()
+    new_lease.write(lambda k: k.persist("final_ranking", _ranking()))
+    new_lease.write(lambda k: k.persist("lap_time", _laps_extended()))
+    expected["final_ranking"] = _ranking()
+    expected["lap_time"] = _laps_extended()
+    group.pump(rounds=2)
+    events.append("replica-1 healed and caught up from the new lineage")
+
+    # ---- verification -------------------------------------------------
+    failures = report.failures
+    if not report.crashed:
+        failures.append(f"kill at {kill_site} never fired")
+    if not report.fence_held:
+        failures.append("deposed primary's late write was NOT fenced")
+    report.fenced_writes = group.fenced_writes
+    if report.epoch != 2:
+        failures.append(f"expected epoch 2 after one failover, got {report.epoch}")
+
+    recovered = group.primary.snapshot()
+    report.fatal_txn_present = (
+        "sector_delta" in recovered and "fastest_lap" in recovered
+    )
+    if report.fatal_txn_present != report.fatal_txn_expected:
+        failures.append(
+            f"fatal transaction "
+            f"{'survived' if report.fatal_txn_present else 'was lost'} but "
+            f"{kill_site} is classified {classification}"
+        )
+    if "ghost_write" in recovered:
+        failures.append("fenced write reached the promoted primary's catalog")
+    failures.extend(
+        f"primary: {message}"
+        for message in compare_catalogs(expected, recovered)
+    )
+    if "bestLap" not in group.primary.procedures():
+        failures.append("shipped PROC bestLap missing on the promoted primary")
+    failures.extend(group.convergence_report())
+
+    status = group.status()
+    for replica_status in status.replicas:
+        report.replica_lags[replica_status.name] = replica_status.lag_records
+        report.replica_snapshots[replica_status.name] = (
+            replica_status.snapshots_installed
+        )
+        if replica_status.lag_records != 0:
+            failures.append(
+                f"{replica_status.name}: still lagging "
+                f"{replica_status.lag_records} record(s) after heal"
+            )
+    group.close()
+    return report
+
+
+@dataclass
+class ReplicationSweepSummary:
+    """Scenario outcomes across every commit-path kill site."""
+
+    results: list[ReplicationChaosReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    def describe(self) -> str:
+        lines = [result.describe() for result in self.results]
+        good = sum(1 for result in self.results if result.ok)
+        lines.append(
+            f"replication kill sweep: {good}/{len(self.results)} site(s) "
+            f"converged byte-for-byte with the fence held"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "results": [result.to_dict() for result in self.results],
+            "ok": self.ok,
+        }
+
+
+def replication_kill_sweep(
+    base_dir: str | Path,
+    sites: tuple[str, ...] | None = None,
+    seed: int = 2026,
+    fsync: bool = True,
+) -> ReplicationSweepSummary:
+    """Kill the primary mid-transaction at every commit-path crash point;
+    every run must fail over, fence the deposed lease, and converge."""
+    base = Path(base_dir)
+    summary = ReplicationSweepSummary()
+    for site in sites or KILL_SWEEP_SITES:
+        scratch = base / site.replace(":", "__").replace(".", "_")
+        summary.results.append(
+            partition_failover_scenario(
+                scratch, seed=seed, kill_site=site, fsync=fsync
+            )
+        )
+    return summary

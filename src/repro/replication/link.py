@@ -1,0 +1,121 @@
+"""The WAL-shipping link between a primary store and its replicas.
+
+A :class:`ReplicationLink` reads the primary's on-disk durable store — the
+same checkpoint + WAL files crash recovery reads — and turns a replica's
+:class:`ReplicaPosition` into a :class:`Shipment`: either an incremental
+WAL tail (the common case) or a full catch-up (checkpoint snapshot + the
+WAL tail after it) when the position no longer matches the primary's
+lineage. Two events invalidate a position:
+
+* the primary checkpointed (``base_seqno`` mismatch) — the WAL the replica
+  was tailing has been folded into a new snapshot and truncated;
+* the group failed over (``epoch`` mismatch) — the replica was tracking a
+  deposed primary and must re-seed from the new one.
+
+The link never touches a live kernel object: shipping reads only durable
+bytes, so a crashed ("killed") primary can still be drained of everything
+that survived on disk during failover, and a torn tail left by the crash
+is naturally excluded (``read_records`` stops at the first bad record,
+exactly as recovery would).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.durability.checkpoint import Checkpoint, read_checkpoint
+from repro.durability.store import WAL_FILE
+from repro.durability.wal import read_records
+
+__all__ = ["ReplicaPosition", "ReplicationLink", "Shipment"]
+
+
+@dataclass(frozen=True)
+class ReplicaPosition:
+    """How far into the primary's durable lineage a replica has consumed.
+
+    ``epoch`` is the group epoch the position was established under,
+    ``base_seqno`` the checkpoint seqno the applied state is based on, and
+    ``records_consumed`` the count of WAL records consumed since that
+    checkpoint (consumed, not applied: uncommitted transaction records are
+    consumed into a pending buffer and only applied at their commit
+    marker). The sentinel default never matches a live primary, so a fresh
+    replica's first fetch is always a full catch-up.
+    """
+
+    epoch: int = -1
+    base_seqno: int = -1
+    records_consumed: int = 0
+
+
+@dataclass
+class Shipment:
+    """One pump round's payload for one replica."""
+
+    #: Full checkpoint to install first (catch-up rounds only).
+    snapshot: Checkpoint | None
+    #: WAL records to consume, in append order.
+    records: list[dict[str, Any]] = field(default_factory=list)
+    #: The replica's position after consuming this shipment.
+    position: ReplicaPosition = field(default_factory=ReplicaPosition)
+    #: True when the position had to be re-seeded from the checkpoint.
+    catchup: bool = False
+    #: Durable records that exist on the primary but were NOT shipped
+    #: (withheld by a ``lag`` fault) — the replica's lag after this round.
+    remaining: int = 0
+
+
+class ReplicationLink:
+    """Reads one primary store directory and computes shipments."""
+
+    def __init__(self, store_path: str | Path):
+        self.store_path = Path(store_path)
+
+    def _scan(self) -> tuple[Checkpoint, list[dict[str, Any]]]:
+        snapshot = read_checkpoint(self.store_path) or Checkpoint()
+        scan = read_records(self.store_path / WAL_FILE)
+        return snapshot, scan.records
+
+    def fetch(
+        self, position: ReplicaPosition, epoch: int, withhold: int = 0
+    ) -> Shipment:
+        """The shipment that advances ``position`` toward the primary.
+
+        ``epoch`` is the group's current epoch (stamped into the returned
+        position); ``withhold`` keeps that many of the newest records back,
+        modelling a lagging link without severing it.
+        """
+        snapshot, records = self._scan()
+        if position.epoch != epoch or position.base_seqno != snapshot.seqno:
+            tail = records
+            consumed_before = 0
+            catchup = True
+        else:
+            tail = records[position.records_consumed :]
+            consumed_before = position.records_consumed
+            snapshot = None  # incremental: the replica's base still holds
+            catchup = False
+        if withhold > 0:
+            tail = tail[: max(0, len(tail) - withhold)]
+        consumed_after = consumed_before + len(tail)
+        base_seqno = (
+            snapshot.seqno if snapshot is not None else position.base_seqno
+        )
+        return Shipment(
+            snapshot=snapshot,
+            records=list(tail),
+            position=ReplicaPosition(epoch, base_seqno, consumed_after),
+            catchup=catchup,
+            remaining=len(records) - consumed_after,
+        )
+
+    def backlog(self, position: ReplicaPosition, epoch: int) -> int:
+        """Durable records the replica has not consumed (lag accounting for
+        partitioned rounds, where nothing can actually ship)."""
+        snapshot, records = self._scan()
+        if position.epoch != epoch or position.base_seqno != snapshot.seqno:
+            # the position is off-lineage: everything must re-ship
+            return len(records) + len(snapshot.catalog) + len(snapshot.procs)
+        return len(records) - position.records_consumed

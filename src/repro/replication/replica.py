@@ -1,0 +1,233 @@
+"""A read replica: applied WAL state, staleness accounting, promotion.
+
+A :class:`Replica` holds an internal store-less :class:`MonetKernel` whose
+catalog is the replication apply target. Shipments are applied with the
+same semantics as crash recovery (:meth:`DurableStore.recover`): auto-commit
+records apply immediately, transaction records buffer from their ``begin``
+until the ``commit`` marker arrives, and a batch whose marker never ships
+(the primary died mid-commit, or a ``lag`` fault withheld the tail) stays
+pending across pumps — and is discarded on promotion, exactly as recovery
+discards an uncommitted batch.
+
+Reads are served through a fresh :class:`repro.cobra.metadata.MetadataStore`
+per query: applying a ``persist`` record *replaces* the BAT object in the
+catalog, so a cached metadata view would silently keep serving the old
+BATs.
+"""
+
+from __future__ import annotations
+
+import base64
+import pickle
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.durability.checkpoint import Checkpoint
+from repro.durability.wal import bat_from_payload
+from repro.errors import MonetError, ReplicationError
+from repro.monet.bat import BAT
+from repro.monet.kernel import MonetKernel
+from repro.replication.link import ReplicaPosition, Shipment
+
+if TYPE_CHECKING:  # imported lazily: cobra layers on monet
+    from repro.cobra.metadata import MetadataStore
+
+__all__ = ["Replica"]
+
+
+class Replica:
+    """One read replica of a kernel group.
+
+    Args:
+        name: group-unique replica name (also its fault-site suffix).
+        path: directory the replica will promote its durable store into.
+        clock: injectable monotonic clock for staleness accounting.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        path: str | Path,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.name = name
+        self.path = Path(path)
+        self._clock = clock
+        #: Store-less serving kernel; its catalog is the apply target.
+        self.kernel = MonetKernel(threads=1, check="off")
+        self.position = ReplicaPosition()
+        #: Uncommitted transaction records buffered between pumps.
+        self._pending: list[dict[str, Any]] | None = None
+        #: Admin-severed link (fault-injected partitions are per-round).
+        self.partitioned = False
+        #: Module names shipped via ``module`` records.
+        self.modules: set[str] = set()
+        #: Durable primary records not yet consumed, as of the last pump.
+        self.lag_records = 0
+        self._caught_up_at = clock()
+        self.records_applied = 0
+        self.commits_applied = 0
+        self.snapshots_installed = 0
+        self.promoted = False
+
+    # ------------------------------------------------------------------
+    # applying shipments
+    # ------------------------------------------------------------------
+    def apply_shipment(self, shipment: Shipment) -> int:
+        """Consume one shipment; returns the records applied (not buffered)."""
+        if self.promoted:
+            raise ReplicationError(
+                f"replica {self.name!r} was promoted and no longer applies"
+            )
+        if shipment.snapshot is not None:
+            self._install_snapshot(shipment.snapshot)
+        applied = 0
+        for record in shipment.records:
+            op = record.get("op")
+            if op == "begin":
+                # a dangling begin (previous batch lost its commit to a
+                # crash) is superseded, as in recovery
+                self._pending = []
+            elif op == "commit":
+                if self._pending is not None:
+                    for buffered in self._pending:
+                        self._apply_record(buffered)
+                        applied += 1
+                    self.commits_applied += 1
+                    self._pending = None
+            elif op == "abort":
+                pass  # audit marker; nothing was buffered for it
+            elif self._pending is not None:
+                self._pending.append(record)
+            else:
+                self._apply_record(record)
+                applied += 1
+        self.position = shipment.position
+        return applied
+
+    def _install_snapshot(self, snapshot: Checkpoint) -> None:
+        """Re-seed the replica from a full checkpoint (catch-up rounds)."""
+        self._pending = None  # off-lineage pending records are garbage
+        for name in self.kernel.catalog_names():
+            self.kernel.drop(name)
+        for name in sorted(snapshot.catalog):
+            self.kernel.persist(name, snapshot.catalog[name])
+        for name, definition in sorted(snapshot.definitions().items()):
+            # procs are never dropped, so redefining over survivors is
+            # exactly the recovery semantics; checks off: the defining
+            # modules live on the primary, not here
+            self.kernel.interpreter.define_proc(definition, check="off")
+        self.modules = set(snapshot.modules)
+        self.snapshots_installed += 1
+
+    def _apply_record(self, record: dict[str, Any]) -> None:
+        """Replay one committed record (mirrors ``DurableStore._apply``)."""
+        op = record.get("op")
+        if op == "persist":
+            name = record["name"]
+            self.kernel.persist(name, bat_from_payload(record["bat"], name=name))
+        elif op == "drop":
+            try:
+                self.kernel.drop(record["name"])
+            except MonetError:
+                pass  # idempotent, as in recovery
+        elif op == "proc":
+            definition = pickle.loads(base64.b64decode(record["def"]))
+            self.kernel.interpreter.define_proc(definition, check="off")
+        elif op == "module":
+            self.modules.add(record["name"])
+        self.records_applied += 1
+
+    @property
+    def has_pending(self) -> bool:
+        """Whether an uncommitted transaction batch is buffered."""
+        return self._pending is not None
+
+    def discard_pending(self) -> int:
+        """Drop any buffered uncommitted batch (promotion, re-seed)."""
+        dropped = len(self._pending) if self._pending is not None else 0
+        self._pending = None
+        return dropped
+
+    # ------------------------------------------------------------------
+    # staleness
+    # ------------------------------------------------------------------
+    def mark_lag(self, now: float, lag_records: int) -> None:
+        """Record this pump round's lag; caught-up rounds reset the clock."""
+        self.lag_records = lag_records
+        if lag_records == 0:
+            self._caught_up_at = now
+
+    def staleness_ms(self, now: float | None = None) -> float:
+        """Milliseconds since the replica was last fully caught up.
+
+        0.0 while caught up — a caught-up replica serves the same committed
+        state as the primary, however long ago the last write happened.
+        """
+        if self.lag_records == 0:
+            return 0.0
+        now = self._clock() if now is None else now
+        return max(0.0, (now - self._caught_up_at) * 1000.0)
+
+    # ------------------------------------------------------------------
+    # serving reads
+    # ------------------------------------------------------------------
+    def read_view(self) -> "MetadataStore":
+        """A fresh metadata view over the applied state (never cached:
+        applying a ``persist`` replaces the underlying BAT object)."""
+        from repro.cobra.metadata import MetadataStore
+
+        return MetadataStore(self.kernel)
+
+    def query(self, coql_source: str) -> list[dict[str, Any]]:
+        """Execute one read-only COQL query against the applied state."""
+        from repro.cobra.query import QueryExecutor, parse_coql
+
+        return QueryExecutor(self.read_view()).execute(parse_coql(coql_source))
+
+    def catalog(self) -> dict[str, BAT]:
+        """Deep copy of the applied catalog (for convergence checks)."""
+        return self.kernel.snapshot()
+
+    # ------------------------------------------------------------------
+    # promotion
+    # ------------------------------------------------------------------
+    def promote(
+        self, check: str = "warn", fsync: bool = True
+    ) -> MonetKernel:
+        """Turn the applied state into a new durable primary.
+
+        Builds a :class:`DurableStore` at :attr:`path`, replays the applied
+        catalog into it as one transaction, re-defines the shipped PROCs
+        (WAL-logged via the interpreter's define hook), records the module
+        expectations, and folds it all into a checkpoint so the new
+        lineage starts with an empty WAL. Any pending uncommitted batch is
+        discarded first — the deposed primary never committed it.
+        """
+        from repro.durability.store import DurableStore
+
+        if self.promoted:
+            raise ReplicationError(f"replica {self.name!r} already promoted")
+        store = DurableStore(self.path, fsync=fsync)
+        if (self.path / "checkpoint").exists() or store.wal_size() > 0:
+            raise ReplicationError(
+                f"refusing to promote {self.name!r} into non-empty store "
+                f"directory {self.path}"
+            )
+        self.discard_pending()
+        kernel = MonetKernel(threads=1, check=check, store=store)
+        snapshot = self.kernel.snapshot()
+        if snapshot:
+            with kernel.transaction():
+                for name in sorted(snapshot):
+                    kernel.persist(name, snapshot[name])
+        for name, procedure in sorted(
+            self.kernel.interpreter.procedures.items()
+        ):
+            kernel.interpreter.define_proc(procedure.definition, check="off")
+        for module in sorted(self.modules):
+            store.log_module(module)
+        kernel.checkpoint()
+        self.promoted = True
+        return kernel

@@ -11,6 +11,7 @@ of the same scenario produce *equal* reports; wall-clock measurements
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 __all__ = [
     "RequestRecord",
@@ -56,6 +57,12 @@ class ServiceReport:
     checkpoint_seqno: int | None = None
     #: Queue-wait per executed request (seconds), in seq order.
     admission_latencies: tuple[float, ...] = field(default=(), compare=False)
+    #: Status of the attached replicated kernel group at report time (a
+    #: :class:`repro.replication.GroupStatus` — epoch, per-replica lag,
+    #: failovers, fenced writes; its wall-clock staleness readings are
+    #: excluded from equality by that type itself), or None when the
+    #: service fronts a single kernel.
+    replication: Any = None
 
     def __len__(self) -> int:
         return len(self.records)
@@ -101,6 +108,10 @@ class ServiceReport:
             )
         if self.checkpoint_seqno is not None:
             lines.append(f"  drain checkpoint: seqno {self.checkpoint_seqno}")
+        if self.replication is not None:
+            lines.extend(
+                "  " + line for line in self.replication.describe().splitlines()
+            )
         return "\n".join(lines)
 
 

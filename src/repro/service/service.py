@@ -166,10 +166,15 @@ class QueryService:
         vdbms: Any,
         config: ServiceConfig | None = None,
         clock: Callable[[], float] = time.monotonic,
+        group: Any | None = None,
     ):
         self._db = vdbms
         self._config = config or ServiceConfig()
         self._clock = clock
+        #: Optional repro.replication.KernelGroup fronting the vdbms
+        #: kernel: queries route through its read policy and the report
+        #: carries its status (epoch, lag, failovers, fenced writes).
+        self._group = group
         self._queue = AdmissionQueue(self._config.queue_capacity)
         self._pool = BulkheadPool(self._config.lanes)
         self._limiter = (
@@ -388,6 +393,16 @@ class QueryService:
 
     def _dispatch(self, request: Request) -> Any:
         if request.kind == "query":
+            if self._group is not None:
+                # the group's read policy picks the node; a replica read
+                # executes on the replica's applied state, primary reads
+                # stay on the vdbms path. The routed node lands on the
+                # record so reports expose the read fan-out.
+                routed = self._group.route_read()
+                request.detail = f"read@{routed.node}"
+                if not routed.is_primary:
+                    with cancel_scope(request.token):
+                        return routed.replica.query(request.payload)
             return self._db.query(request.payload, token=request.token)
         if request.kind == "register":
             document, domain = request.payload
@@ -446,6 +461,10 @@ class QueryService:
             and getattr(self._db.kernel, "store", None) is not None
         ):
             self._checkpoint_seqno = self._db.kernel.checkpoint()
+        if self._group is not None:
+            # converge the replicas on the drained (checkpointed) state so
+            # the final report shows the group caught up, not mid-flight
+            self._group.pump()
         return self.report()
 
     def _drain_sync(self, deadline: Deadline) -> None:
@@ -496,4 +515,7 @@ class QueryService:
             records=tuple(request.record() for request in requests),
             checkpoint_seqno=self._checkpoint_seqno,
             admission_latencies=latencies,
+            replication=(
+                self._group.status() if self._group is not None else None
+            ),
         )

@@ -63,8 +63,19 @@ class TestKillFaultKind:
 
 class TestKillPointSweep:
     def test_every_classified_site_is_a_real_crash_point(self):
-        assert len(CRASH_SITES) == 12
+        assert len(CRASH_SITES) == 13
         assert set(CRASH_SITES.values()) == {DURABLE, ABSENT, NEUTRAL}
+
+    def test_checkpoint_replaced_kill_survives_the_directory_entry(
+        self, tmp_path
+    ):
+        # the kill lands between os.replace and the parent-directory fsync:
+        # both the old and the new checkpoint state are acceptable, but the
+        # store must recover to a committed catalog either way
+        assert CRASH_SITES["checkpoint:replaced"] == NEUTRAL
+        result = run_crash_site(tmp_path, "checkpoint:replaced", fsync=False)
+        assert result.crashed
+        assert result.ok, result.failures
 
     def test_single_site_run_reports_the_killed_step(self, tmp_path):
         result = run_crash_site(tmp_path, "wal.commit:mid", fsync=False)

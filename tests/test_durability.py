@@ -101,6 +101,27 @@ class TestWalScan:
         assert "torn" in scan.corruption
         assert scan.torn_bytes > 0
 
+    def test_zero_length_tail_after_torn_write(self, tmp_path):
+        # the torn write flushed a length header but zero payload bytes —
+        # the smallest tail the replication stream can encounter
+        path = self._write(
+            tmp_path / "wal.log",
+            [{"op": "drop", "name": "a"}, {"op": "drop", "name": "b"}],
+        )
+        intact = path.read_bytes()
+        path.write_bytes(intact + (10).to_bytes(4, "big"))
+        scan = read_records(path)
+        assert [r["name"] for r in scan.records] == ["a", "b"]
+        assert "torn" in scan.corruption
+        assert scan.torn_bytes == 4
+        assert scan.valid_length == len(intact)
+        # truncated back to the valid boundary, the tail is zero-length
+        # and the scan is clean again
+        path.write_bytes(intact)
+        rescan = read_records(path)
+        assert rescan.corruption is None
+        assert rescan.valid_length == rescan.file_length
+
     def test_corrupt_checksum_mid_log_discards_the_tail(self, tmp_path):
         path = self._write(
             tmp_path / "wal.log",
@@ -150,6 +171,35 @@ class TestRecovery:
         state = DurableStore(tmp_path / "s", fsync=False).recover()
         assert state.catalog == {} and state.next_txn == 1
         assert state.report.clean
+
+    def test_empty_wal_replays_to_nothing(self, tmp_path):
+        # an opened-then-closed store leaves a magic-only WAL: zero
+        # records, zero corruption, clean recovery
+        store = DurableStore(tmp_path / "s", fsync=False)
+        store.open()
+        store.close()
+        assert store.wal_path.read_bytes() == MAGIC
+        scan = read_records(store.wal_path)
+        assert scan.records == [] and scan.corruption is None
+        state = DurableStore(tmp_path / "s", fsync=False).recover()
+        assert state.catalog == {} and state.report.clean
+        assert state.report.wal_records == 0
+
+    def test_checkpoint_with_no_subsequent_records_starts_an_empty_wal(
+        self, tmp_path
+    ):
+        store = DurableStore(tmp_path / "s", fsync=False)
+        store.open()
+        store.log_persist("laps", lap_bat())
+        store.checkpoint({"laps": lap_bat("laps")})
+        store.close()
+        # the WAL was truncated to magic-only; everything lives in the
+        # checkpoint (the catch-up shape replication ships as a snapshot)
+        assert store.wal_path.read_bytes() == MAGIC
+        state = DurableStore(tmp_path / "s", fsync=False).recover()
+        assert state.report.wal_records == 0
+        assert state.report.checkpoint_seqno == 1
+        assert state.catalog["laps"].equals(lap_bat())
 
     def test_wal_only_recovery(self, tmp_path):
         store = DurableStore(tmp_path / "s", fsync=False)

@@ -39,6 +39,7 @@ def test_harness_writes_bench_document(tmp_path):
         "join_aggregate",
         "dbn_inference",
         "end_to_end_query",
+        "replicated_read_fanout",
     }
     for stats in document["benchmarks"].values():
         assert stats["mean_s"] > 0
