@@ -13,7 +13,10 @@ fused compiler would accelerate —
   (parse → preprocess → execute) against a synthetic document;
 * ``replicated_read_fanout`` — aggregate reads routed across a replicated
   kernel group (one primary + two WAL-shipped replicas) under a mix of
-  ``primary`` / ``any`` / ``bounded(ms)`` read policies
+  ``primary`` / ``any`` / ``bounded(ms)`` read policies;
+* ``sharded_scatter_gather`` — COQL gathers across a three-shard
+  consistent-hash fleet, mixing fan-out scatters (every shard answers,
+  results merged with a coverage report) with shard-local routed queries
 
 — and writes per-benchmark mean/min/max seconds plus derived rows/s into a
 ``BENCH_perf.json`` document (schema ``repro-bench-perf/1``). CI uploads
@@ -203,12 +206,69 @@ def bench_replicated_read_fanout(rows: int, repeats: int) -> dict:
         return summary
 
 
+def bench_sharded_scatter_gather(rows: int, repeats: int) -> dict:
+    import tempfile
+
+    from repro.cobra.model import RawVideo, VideoDocument, VideoObject
+    from repro.sharding import ShardConfig, ShardedKernel
+    from repro.synth.annotations import Interval
+
+    n_documents = 6
+    queries_per_repeat = 10
+    events_per_doc = max(1, rows // n_documents)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-shard-") as scratch:
+        # fsync off: this measures scatter/gather + merge overhead, not
+        # disk latency
+        fleet = ShardedKernel(
+            Path(scratch),
+            shards=3,
+            config=ShardConfig(fsync=False),
+        )
+        for index in range(n_documents):
+            video_id = f"bench{index}"
+            doc = VideoDocument(
+                raw=RawVideo(
+                    video_id,
+                    "synthetic://bench",
+                    float(events_per_doc + 2),
+                    10.0,
+                    192,
+                    144,
+                    16000,
+                )
+            )
+            doc.add_object(VideoObject(f"{video_id}/d1", "driver", "DRIVER"))
+            for step in range(events_per_doc):
+                doc.new_event(
+                    "fly_out",
+                    Interval(step, step + 1),
+                    0.9,
+                    {"driver": f"{video_id}/d1"},
+                    "dbn",
+                )
+            fleet.register_document(doc, "bench")
+
+        def gather() -> None:
+            for index in range(queries_per_repeat):
+                if index % 2 == 0:
+                    fleet.query("RETRIEVE fly_out")
+                else:
+                    fleet.query(f"RETRIEVE fly_out FROM bench{index % n_documents}")
+
+        summary = _summary(
+            _time(gather, repeats), rows * queries_per_repeat
+        )
+        fleet.close()
+        return summary
+
+
 BENCHMARKS = {
     "select_chain": bench_select_chain,
     "join_aggregate": bench_join_aggregate,
     "dbn_inference": bench_dbn_inference,
     "end_to_end_query": bench_end_to_end_query,
     "replicated_read_fanout": bench_replicated_read_fanout,
+    "sharded_scatter_gather": bench_sharded_scatter_gather,
 }
 
 

@@ -8,11 +8,15 @@ that flushes the WAL. This walkthrough drives each piece.
 Run:  python examples/serve_queries.py        (a few seconds)
 """
 
+import tempfile
+
 from repro.cobra.catalog import DomainKnowledge, ExtractionMethod
 from repro.cobra.model import RawVideo, VideoDocument
 from repro.cobra.vdbms import CobraVDBMS
 from repro.errors import MilCheckError, OverloadError
+from repro.faults import FaultInjector, get_plan
 from repro.service import Priority, QueryService, ServiceConfig
+from repro.sharding import ShardConfig, ShardedKernel
 from repro.synth.annotations import Interval
 
 # 1. A tiny VDBMS with one synthetic extraction method.
@@ -93,3 +97,32 @@ try:
     service.submit_query("RETRIEVE highlight FROM race0")
 except OverloadError as error:
     print(f"late submission refused: {error.reason}")
+
+# 6. Degraded answers. A service fronting a sharded fleet
+#    (QueryService(db, fleet=...)) keeps answering when shards die:
+#    the gather returns a partial result instead of raising, and the
+#    coverage report says exactly how partial. Check result.degraded /
+#    result.degradations() before trusting a fleet answer — a completed
+#    ticket may carry 4/6 of the corpus, which is an answer *and* a
+#    warning. Below the fleet's min_coverage floor the query fails
+#    loudly with InsufficientCoverageError instead.
+print("Scatter-gather under a dying shard ...")
+with tempfile.TemporaryDirectory() as scratch:
+    fleet = ShardedKernel(
+        scratch,
+        shards=3,
+        config=ShardConfig(min_coverage=0.25, fsync=False),
+        faults=FaultInjector(get_plan("shard-death")),
+    )
+    fleet_service = QueryService(CobraVDBMS(check="off"), fleet=fleet)
+    for index in range(6):
+        fleet_service.submit_register(make_document(f"race{index}"), "f1")
+    fleet_service.run_until_idle()
+    partial = fleet_service.submit_query("RETRIEVE highlight")
+    fleet_service.run_until_idle()
+    result = partial.result()
+    print(f"  degraded: {result.degraded}")
+    for note in result.degradations():
+        print(f"  {note}")
+    fleet_service.shutdown()
+    fleet.close()

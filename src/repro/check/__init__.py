@@ -36,7 +36,14 @@ the reproduction's three levels:
   :class:`repro.replication.KernelGroup` is constructed (``REPLnnn``
   codes): writes must route to the primary, epoch fencing must be on,
   and the ``bounded(ms)`` read policy must be satisfiable against the
-  replicas' registered link lag.
+  replicas' registered link lag;
+* :mod:`repro.check.shardcheck` — sharded-fleet checks run when a
+  :class:`repro.sharding.ShardedKernel` is constructed and when MIL is
+  registered for scatter execution (``SHARDnnn`` codes): writes must
+  route to the owning shard, replicated shards must fence, a coverage
+  floor should be declared, and fusion regions certified under one
+  kernel's BAT lock must be de-certified when scattered (SHARD004,
+  advisory like PERF/FUSE).
 
 All passes report :class:`Diagnostic` findings through a shared
 :class:`DiagnosticReport`; error-severity findings raise the matching
@@ -88,6 +95,7 @@ from repro.check.modelcheck import check_cpd, check_network, check_template
 from repro.check.racecheck import RaceChecker, check_race_source
 from repro.check.replcheck import check_group_config, parse_read_policy
 from repro.check.sanitize import KernelSanitizer
+from repro.check.shardcheck import check_fleet_config, check_scatter_source
 from repro.check.servicecheck import (
     ServiceChecker,
     check_service_proc,
@@ -114,6 +122,7 @@ __all__ = [
     "check_cost_source",
     "check_cpd",
     "check_feature_set",
+    "check_fleet_config",
     "check_flow_source",
     "check_fuse_source",
     "check_group_config",
@@ -124,6 +133,7 @@ __all__ = [
     "check_moa_flow",
     "check_network",
     "check_race_source",
+    "check_scatter_source",
     "check_service_proc",
     "check_service_source",
     "check_template",

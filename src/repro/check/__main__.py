@@ -7,12 +7,13 @@ temporal variants v1/v2/v3, and the audio-visual DBN).
 
 With paths, each is a ``.mil`` file (directories are searched recursively)
 linted against the standard Cobra kernel command set.  Every MIL artifact
-runs through all five passes: the per-statement checker
+runs through all six passes: the per-statement checker
 (:mod:`repro.check.milcheck`), the dataflow/range analysis
 (:mod:`repro.check.flowcheck`), the PARALLEL race analysis
 (:mod:`repro.check.racecheck`), the plan-cost analysis
-(:mod:`repro.check.costcheck`), and the purity/fusibility analysis
-(:mod:`repro.check.fusecheck`).
+(:mod:`repro.check.costcheck`), the purity/fusibility analysis
+(:mod:`repro.check.fusecheck`), and the scatter-placement analysis
+(:mod:`repro.check.shardcheck`).
 
 Options:
 
@@ -20,10 +21,13 @@ Options:
   line per diagnostic plus a summary; ``json`` and ``sarif`` print a single
   machine-readable document (SARIF 2.1.0 suits CI annotation uploads).
 * ``--strict`` — warnings also fail the build (exit 1).  Advisory families
-  (``PERF``/``FUSE`` performance-and-fusibility hints) are exempt: they
-  never change the exit status, so ``--strict`` still fails only on
-  error-severity findings plus genuine correctness warnings, and seed
-  plans with perf hints keep CI green.
+  (``PERF``/``FUSE`` performance-and-fusibility hints, plus the ``SHARD``
+  scatter-placement hints — SHARD004 informs where a plan may run, not
+  whether it is correct) are exempt: they never change the exit status,
+  so ``--strict`` still fails only on error-severity findings plus
+  genuine correctness warnings, and seed plans with perf hints keep CI
+  green.  The error-severity SHARD findings (SHARD001/SHARD003) are not
+  warnings and fail the build like any other error.
 
 Exit status: 0 when no failing diagnostics were found, 1 when some were,
 2 on usage errors.
@@ -45,10 +49,13 @@ from repro.check.fusecheck import FuseChecker
 from repro.check.milcheck import MilChecker
 from repro.check.modelcheck import check_template
 from repro.check.racecheck import RaceChecker
+from repro.check.shardcheck import check_scatter_source
 
 #: Diagnostic-code prefixes that are advisory: they inform (and land in
 #: reports/SARIF) but never fail the build, not even under ``--strict``.
-ADVISORY_PREFIXES = ("PERF", "FUSE")
+#: Only warning-severity findings consult this list, so SHARD's
+#: error-severity configuration findings still fail the build.
+ADVISORY_PREFIXES = ("PERF", "FUSE", "SHARD")
 
 _SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
 _SARIF_LEVELS = {
@@ -80,13 +87,14 @@ def _checker_env(kernel, exclude_procs: tuple[str, ...] = ()) -> dict:
 
 
 def _check_mil(env: dict, source: str, name: str) -> DiagnosticReport:
-    """Run all five MIL passes over one source artifact."""
+    """Run all six MIL passes over one source artifact."""
     report = DiagnosticReport()
     report.extend(MilChecker(**env).check_source(source, name=name))
     report.extend(FlowChecker(**env).check_source(source, name=name))
     report.extend(RaceChecker(**env).check_source(source, name=name))
     report.extend(CostChecker(**env).check_source(source, name=name))
     report.extend(FuseChecker(**env).check_source(source, name=name))
+    report.extend(check_scatter_source(source, name=name, **env))
     return report
 
 

@@ -1,0 +1,134 @@
+"""Static analysis of sharded-fleet configurations and scatter plans.
+
+Two entry points, mirroring :mod:`repro.check.replcheck`'s choke-point
+pattern:
+
+* :func:`check_fleet_config` runs at :class:`repro.sharding.ShardedKernel`
+  construction — misconfigurations that would silently mis-place writes or
+  hide degraded answers are rejected before any document is registered;
+* :func:`check_scatter_source` runs when MIL source is registered for
+  scatter execution (``ShardedKernel.run``) and as the sixth pass of the
+  ``python -m repro.check`` CLI.
+
+Diagnostics:
+
+* ``SHARD001`` (error) — write routing targets anything but the owning
+  shard. The placement map records one owner per document; a write routed
+  elsewhere puts rows where no gather will ever look, which is silent data
+  loss, not a policy choice.
+* ``SHARD002`` (warning) — the fleet's default ``min_coverage`` floor is
+  zero. Gathers then degrade all the way to an empty answer without any
+  caller noticing unless every call site remembers to pass its own floor;
+  declaring a fleet-wide floor makes "how wrong may an answer be" an
+  explicit contract.
+* ``SHARD003`` (error) — replicated shards with epoch fencing disabled.
+  After a per-shard failover the deposed primary's late cross-shard write
+  would be accepted into the new epoch: the same split-brain REPL002
+  rejects, multiplied by the number of shards.
+* ``SHARD004`` (warning, advisory) — scatter fan-out carries certified
+  fusion regions inside ``PARALLEL`` branches. Those certifications rest
+  on :mod:`repro.check.racecheck` ownership facts that hold under *one*
+  kernel's BAT lock; scattering the branches across shards dissolves that
+  lock domain, so the fused pipelines must be de-certified (and the fused
+  compiler falls back to the interpreter) on the sharded path. Advisory
+  like PERF/FUSE: it informs plan placement, it never fails ``--strict``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.check.diagnostics import DiagnosticReport, Severity
+from repro.check.fusecheck import FuseChecker
+from repro.errors import MilSyntaxError
+from repro.monet.mil import ProcDef, parse
+
+if TYPE_CHECKING:  # structural only; no runtime import of sharding
+    from repro.sharding.fleet import ShardConfig
+
+__all__ = ["check_fleet_config", "check_scatter_source"]
+
+_SOURCE = "sharded-fleet"
+
+
+def check_fleet_config(
+    config: "ShardConfig", shards: Iterable[str]
+) -> DiagnosticReport:
+    """SHARD001-SHARD003 over one fleet configuration and its shard set."""
+    report = DiagnosticReport()
+    names = sorted(shards)
+
+    if config.write_routing != "owner":
+        report.add(
+            "SHARD001",
+            f"write routing targets {config.write_routing!r}: the placement "
+            f"map records one owning shard per document, so a write routed "
+            f"anywhere else lands in BATs no gather will ever read — silent "
+            f"data loss, not a policy choice",
+            Severity.ERROR,
+            source=_SOURCE,
+        )
+
+    if config.min_coverage <= 0.0:
+        report.add(
+            "SHARD002",
+            "the fleet declares no coverage floor (min_coverage=0): a "
+            "gather that loses every shard degrades to an empty answer "
+            "without failing; declare a fleet-wide floor (callers can still "
+            "override per query) so degraded answers are a contract, not "
+            "an accident",
+            Severity.WARNING,
+            source=_SOURCE,
+        )
+
+    if config.replication > 0 and not config.fencing:
+        report.add(
+            "SHARD003",
+            f"epoch fencing is disabled on a fleet of {len(names)} "
+            f"replicated shard(s): after any per-shard failover the deposed "
+            f"primary's late cross-shard writes would be accepted into the "
+            f"new epoch (unfenced epoch transition / split-brain, once per "
+            f"shard)",
+            Severity.ERROR,
+            source=_SOURCE,
+        )
+    return report
+
+
+def check_scatter_source(
+    source: str, name: str = "<mil>", **env
+) -> DiagnosticReport:
+    """SHARD004 over MIL source registered for scatter execution.
+
+    ``env`` takes the same keyword environment as the other checkers
+    (``commands``, ``signatures``, ``globals_names``, ``procedures``) so
+    the CLI can drive it alongside the five existing passes; all of it is
+    optional — the pass only needs the fusion partition.
+    """
+    report = DiagnosticReport()
+    try:
+        statements = parse(source)
+    except MilSyntaxError:
+        return report  # syntax is milcheck's job
+    checker = FuseChecker(**env)
+    for statement in statements:
+        if not isinstance(statement, ProcDef):
+            continue
+        plan, _ = checker.analyze_with_report(statement, source=name)
+        for region in plan.regions:
+            if not region.certified or "parallel" not in region.path:
+                continue
+            report.add(
+                "SHARD004",
+                f"PROC {statement.name!r} fans out with a certified fusion "
+                f"region at {region.path} (lines {region.start_line}-"
+                f"{region.end_line}): its certification rests on ownership "
+                f"facts under one kernel's BAT lock, which scatter "
+                f"execution across shards dissolves — the region must run "
+                f"uncertified (interpreter fallback) on the sharded path",
+                Severity.WARNING,
+                source=name,
+                line=region.start_line,
+                end_line=region.end_line,
+            )
+    return report

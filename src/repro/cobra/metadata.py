@@ -139,19 +139,18 @@ class MetadataStore:
         min_confidence: float = 0.0,
     ) -> list[dict[str, Any]]:
         """Event records (from the BATs) matching the filters."""
-        ids = self._event_bats["event_id"].tails()
+        columns = {attr: bat.tails() for attr, bat in self._event_bats.items()}
+        roles_by_oid = self._roles_by_oid()
         out: list[dict[str, Any]] = []
-        for oid in range(len(ids)):
-            record = {
-                attr: bat.tails()[oid] for attr, bat in self._event_bats.items()
-            }
+        for oid in range(len(columns["event_id"])):
+            record = {attr: tails[oid] for attr, tails in columns.items()}
             if video_id is not None and record["video_id"] != video_id:
                 continue
             if kind is not None and record["kind"] != kind:
                 continue
             if record["confidence"] < min_confidence:
                 continue
-            record["roles"] = self._roles_of(oid)
+            record["roles"] = roles_by_oid.get(oid, {})
             record["interval"] = Interval(
                 record["start"], record["end"], record["kind"]
             )
@@ -160,13 +159,17 @@ class MetadataStore:
         return out
 
     def _roles_of(self, oid: int) -> dict[str, str]:
-        roles: dict[str, str] = {}
+        return self._roles_by_oid().get(oid, {})
+
+    def _roles_by_oid(self) -> dict[int, dict[str, str]]:
+        """The role pairs grouped by event oid in one pass over the role
+        BATs, so listing n events costs O(events + roles), not O(n^2)."""
+        grouped: dict[int, dict[str, str]] = {}
         for (head, role), (_, object_id) in zip(
             self._role_names, self._role_objects
         ):
-            if head == oid:
-                roles[role] = object_id
-        return roles
+            grouped.setdefault(head, {})[role] = object_id
+        return grouped
 
     def objects(
         self,

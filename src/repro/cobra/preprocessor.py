@@ -42,7 +42,66 @@ from repro.resilience import (
     cancel_checkpoint,
 )
 
-__all__ = ["PreprocessReport", "QueryPreprocessor"]
+__all__ = [
+    "PreprocessReport",
+    "QueryPreprocessor",
+    "ScatterPlan",
+    "choose_scatter_plan",
+]
+
+
+@dataclass(frozen=True)
+class ScatterPlan:
+    """The preprocessor's cost-model verdict for one sharded gather.
+
+    ``mode`` is ``"shard-local"`` (one shard owns everything the query
+    touches), ``"fan-out"`` (scatter concurrently: longest shard plus the
+    per-branch overhead beats visiting the shards in turn), or
+    ``"sequential"`` (the fan-out overhead exceeds its concurrency win —
+    the exact situation :mod:`repro.check.costcheck` flags as PERF006, so
+    the planner refuses to scatter it).
+    """
+
+    mode: str
+    shards: tuple[str, ...]
+    fan_out_cost: float
+    sequential_cost: float
+
+    @property
+    def scattered(self) -> bool:
+        return self.mode == "fan-out"
+
+
+def choose_scatter_plan(
+    query: CoqlQuery, shard_costs: "dict[str, float]"
+) -> ScatterPlan:
+    """Choose between shard-local, fan-out, and sequential gather plans.
+
+    This is the sharded analogue of :meth:`QueryPreprocessor
+    ._choose_method`: a document-aware cost decision instead of a static
+    rule. ``shard_costs`` maps each candidate shard to the estimated rows
+    it would scan for this query (the fleet derives it from the feature
+    and event rows of the documents placed there). The comparison reuses
+    :data:`repro.check.costcheck.BRANCH_OVERHEAD` — the same constant the
+    PERF006 lint charges per ``PARALLEL`` branch — so a gather the static
+    pass would flag as fan-out-costlier-than-shard-local is exactly the
+    gather this function executes sequentially instead. That is what makes
+    PERF006 actionable: the advisory lint and the runtime planner apply
+    one cost model.
+    """
+    from repro.check.costcheck import BRANCH_OVERHEAD
+
+    targets = dict(sorted(shard_costs.items()))
+    names = tuple(targets)
+    sequential = float(sum(targets.values()))
+    fan_out = float(max(targets.values(), default=0.0)) + BRANCH_OVERHEAD * len(
+        targets
+    )
+    if query.video is not None or len(targets) <= 1:
+        return ScatterPlan("shard-local", names, fan_out, sequential)
+    if fan_out >= sequential:
+        return ScatterPlan("sequential", names, fan_out, sequential)
+    return ScatterPlan("fan-out", names, fan_out, sequential)
 
 
 @dataclass

@@ -75,6 +75,10 @@ class QueryResult:
     #: Faults handled while answering (retries, drops, rollbacks) across
     #: all three levels — kernel command failures included.
     failures: list[FailureReport] = field(default_factory=list)
+    #: Shard coverage of the answer when it came from a sharded fleet
+    #: (a :class:`repro.sharding.ShardCoverageReport`); None on a
+    #: single-kernel VDBMS, where the answer always covers everything.
+    coverage: Any = None
 
     def __len__(self) -> int:
         return len(self.records)
@@ -85,6 +89,8 @@ class QueryResult:
     @property
     def degraded(self) -> bool:
         """True when the answer was computed from less than was asked."""
+        if self.coverage is not None and not self.coverage.complete:
+            return True
         return self.report.degraded
 
     def degradations(self) -> list[str]:
@@ -92,6 +98,8 @@ class QueryResult:
         notes = [
             f"dropped kind {kind!r}: {reason}" for kind, reason in self.report.dropped
         ]
+        if self.coverage is not None and not self.coverage.complete:
+            notes.append(f"partial shard coverage: {self.coverage.describe()}")
         notes.extend(str(f) for f in self.failures)
         return notes
 

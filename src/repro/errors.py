@@ -228,6 +228,41 @@ class StalenessBoundError(ReplicationError, TransientError):
     """
 
 
+class ShardingError(MonetError):
+    """Error in the sharded kernel fleet (placement, scatter-gather)."""
+
+
+class PlacementError(ShardingError, PermanentError):
+    """The placement map and the shard catalogs disagree.
+
+    Raised when a write is presented for a shard that does not own the
+    document, or when recovery finds a journaled placement no shard can
+    attest — retrying the same operation against the same map cannot
+    succeed.
+    """
+
+
+class InsufficientCoverageError(ShardingError, TransientError):
+    """A gather lost too many shards to honor the caller's coverage floor.
+
+    Transient — dead shards rebalance away, breakers close, stragglers
+    catch up — so a retry may well see more of the corpus; but the fleet
+    never silently returns an answer computed from less than the caller's
+    ``min_coverage`` fraction of the documents. Carries the achieved
+    ``coverage``, the ``required`` floor, and the full
+    :class:`repro.sharding.ShardCoverageReport` for the audit trail.
+    """
+
+    def __init__(self, message: str, coverage: float, required: float, report=None):
+        self.coverage = coverage
+        self.required = required
+        self.report = report
+        super().__init__(
+            f"{message} (covered {coverage:.3f} of the corpus, "
+            f"floor {required:.3f})"
+        )
+
+
 class MilError(MonetError):
     """Base error for the MIL interpreter."""
 
@@ -375,6 +410,14 @@ class ReplicationCheckError(DiagnosticError, ReplicationError):
     REPL diagnostic family finds error-severity misconfigurations (writes
     routed to a replica, fencing disabled, an unsatisfiable staleness
     bound)."""
+
+
+class ShardingCheckError(DiagnosticError, ShardingError):
+    """Static analysis rejected a sharded-fleet configuration.
+
+    Raised at :class:`repro.sharding.ShardedKernel` construction when the
+    SHARD diagnostic family finds error-severity misconfigurations (writes
+    routed off the owning shard, unfenced replicated shards)."""
 
 
 class ModelCheckError(DiagnosticError, InferenceError):

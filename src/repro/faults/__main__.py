@@ -3,8 +3,14 @@
 Usage::
 
     python -m repro.faults --list
+    python -m repro.faults --sites
     python -m repro.faults chaos
     python -m repro.faults modality-drop --race belgian --duration 180
+
+``--sites`` prints every fault-site family a plan's specs can target —
+including the ``sharding.transport:<shard>`` scatter transports and the
+``sharding.place:*`` two-phase placement crash points — with the fault
+kinds each family honours.
 
 The replay drives the two fault-bearing stages end to end — synthesis
 (audio dropouts, frame loss, garbled overlays) and extraction (modality
@@ -21,7 +27,7 @@ import sys
 from dataclasses import replace
 
 from repro.faults.injector import FaultInjector
-from repro.faults.plans import get_plan, plan_names
+from repro.faults.plans import SITE_FAMILIES, get_plan, plan_names
 
 _RACES = ("german", "belgian", "usa")
 
@@ -47,6 +53,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list the named plans and exit"
     )
+    parser.add_argument(
+        "--sites",
+        action="store_true",
+        help="list the fault-site families specs can target and exit",
+    )
     parser.add_argument("--race", choices=_RACES, default="german")
     parser.add_argument(
         "--duration", type=float, default=360.0, help="race length in seconds"
@@ -61,8 +72,13 @@ def main(argv: list[str] | None = None) -> int:
             plan = get_plan(name)
             print(f"{name}: {plan.describe()}")
         return 0
+    if args.sites:
+        width = max(len(pattern) for pattern in SITE_FAMILIES)
+        for pattern, description in SITE_FAMILIES.items():
+            print(f"{pattern:<{width}}  {description}")
+        return 0
     if args.plan is None:
-        parser.error("a plan name (or --list) is required")
+        parser.error("a plan name (or --list or --sites) is required")
 
     plan = get_plan(args.plan)
     injector = FaultInjector(plan)

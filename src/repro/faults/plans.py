@@ -15,12 +15,39 @@ from repro.faults.plan import FaultPlan, FaultSpec
 
 __all__ = [
     "NAMED_PLANS",
+    "SITE_FAMILIES",
     "get_plan",
     "plan_names",
     "global_injector",
     "install_global",
     "resolve_injector",
 ]
+
+#: Every fault-site family the codebase consults, pattern -> what a spec
+#: matching it injects into. The ``python -m repro.faults --sites``
+#: listing prints this table; keep it in sync when adding hook points.
+SITE_FAMILIES: dict[str, str] = {
+    "synth.audio|video|text": "synthesis streams (corrupt: dropouts, "
+    "frozen frames, garbled captions)",
+    "extract.stream:<name>": "per-feature-stream extraction "
+    "(corrupt/drop)",
+    "extract.audio|visual|text": "whole-modality extraction (fail)",
+    "extractor:<method>": "dynamic extraction methods (fail/stall/delay)",
+    "kernel.command:<name>": "kernel command dispatch (fail/delay)",
+    "moa.invoke:<ext>.<op>": "Moa operator invocation (fail/delay)",
+    "wal.append:<point>": "WAL append crash points (kill)",
+    "wal.commit:<point>": "WAL commit crash points (kill)",
+    "checkpoint:<point>": "checkpoint crash points (kill)",
+    "service.submit:<kind>": "service admission (burst: duplicate "
+    "arrivals)",
+    "replication.link:<replica>": "WAL shipping links (partition/lag)",
+    "replication.probe:<primary>": "group health probes (fail/kill)",
+    "sharding.transport:<shard>": "shard scatter transports "
+    "(partition -> request lost, lag -> hedged backup read, "
+    "kill -> shard crash mid-scatter, fail/delay)",
+    "sharding.place:prepared|registered": "two-phase document placement "
+    "crash points (kill between journal prepare and commit)",
+}
 
 #: Environment variable naming the plan behind :func:`global_injector`.
 ENV_VAR = "REPRO_FAULT_PLAN"
@@ -77,6 +104,20 @@ NAMED_PLANS: dict[str, FaultPlan] = {
         specs=(
             FaultSpec(site="service.submit:*", kind="burst", rate=1.0, factor=3),
             FaultSpec(site="extractor:*", kind="stall", rate=0.5, delay=0.02),
+        ),
+    ),
+    # The ISSUE-8 acceptance scenario: shards die mid-scatter. shard-1 is
+    # killed outright while shard-0 straggles (a lag trigger the gather
+    # answers through a hedged backup read) — a fan-out query must return
+    # a degraded result with an exact ShardCoverageReport, never raise.
+    # Used by tests/test_sharding.py; the richer two-kill scenario (dead
+    # shard + in-shard failover) lives in repro.sharding.chaos.
+    "shard-death": FaultPlan(
+        seed=77,
+        name="shard-death",
+        specs=(
+            FaultSpec(site="sharding.transport:shard-1", kind="kill", max_triggers=1),
+            FaultSpec(site="sharding.transport:shard-0", kind="lag", factor=2, max_triggers=1),
         ),
     ),
     # The full broadcast-from-hell: audio dropouts, frame loss, garbled

@@ -63,6 +63,11 @@ class ServiceReport:
     #: excluded from equality by that type itself), or None when the
     #: service fronts a single kernel.
     replication: Any = None
+    #: Status of the attached sharded fleet at report time (a
+    #: :class:`repro.sharding.FleetStatus` — per-shard document counts,
+    #: dead shards, epochs, fenced retries; fully deterministic), or None
+    #: when the service fronts a single kernel or one replicated group.
+    sharding: Any = None
 
     def __len__(self) -> int:
         return len(self.records)
@@ -111,6 +116,10 @@ class ServiceReport:
         if self.replication is not None:
             lines.extend(
                 "  " + line for line in self.replication.describe().splitlines()
+            )
+        if self.sharding is not None:
+            lines.extend(
+                "  " + line for line in self.sharding.describe().splitlines()
             )
         return "\n".join(lines)
 

@@ -167,6 +167,7 @@ class QueryService:
         config: ServiceConfig | None = None,
         clock: Callable[[], float] = time.monotonic,
         group: Any | None = None,
+        fleet: Any | None = None,
     ):
         self._db = vdbms
         self._config = config or ServiceConfig()
@@ -175,6 +176,17 @@ class QueryService:
         #: kernel: queries route through its read policy and the report
         #: carries its status (epoch, lag, failovers, fenced writes).
         self._group = group
+        #: Optional repro.sharding.ShardedKernel: queries scatter-gather
+        #: across the fleet (degraded answers carry their coverage on the
+        #: request record), registrations route to the owning shard, and
+        #: the report carries the fleet status. Mutually exclusive with
+        #: ``group`` — a fleet already replicates per shard.
+        self._fleet = fleet
+        if group is not None and fleet is not None:
+            raise ReproError(
+                "pass either group= (one replicated kernel group) or "
+                "fleet= (a sharded fleet of groups), not both"
+            )
         self._queue = AdmissionQueue(self._config.queue_capacity)
         self._pool = BulkheadPool(self._config.lanes)
         self._limiter = (
@@ -393,6 +405,19 @@ class QueryService:
 
     def _dispatch(self, request: Request) -> Any:
         if request.kind == "query":
+            if self._fleet is not None:
+                # scatter-gather across the fleet; the coverage achieved
+                # (shards answered / targeted, corpus fraction) lands on
+                # the record, so a degraded-but-served answer is visible
+                # in the report, not silent
+                result = self._fleet.query(request.payload)
+                coverage = result.coverage
+                request.detail = (
+                    f"gather@{len(coverage.answered)}/"
+                    f"{len(coverage.targeted)} "
+                    f"coverage={coverage.fraction:.3f}"
+                )
+                return result
             if self._group is not None:
                 # the group's read policy picks the node; a replica read
                 # executes on the replica's applied state, primary reads
@@ -406,10 +431,16 @@ class QueryService:
             return self._db.query(request.payload, token=request.token)
         if request.kind == "register":
             document, domain = request.payload
+            if self._fleet is not None:
+                shard = self._fleet.register_document(document, domain)
+                request.detail = f"placed@{shard}"
+                return shard
             return self._db.register_document(document, domain, token=request.token)
         if request.kind == "proc":
             name, args = request.payload
             with cancel_scope(request.token):
+                if self._fleet is not None:
+                    return self._fleet.scatter_call(name, args)
                 return self._db.kernel.call(name, args, deadline=request.token)
         raise ReproError(f"unknown request kind {request.kind!r}")
 
@@ -456,7 +487,14 @@ class QueryService:
             self._drain_threaded(deadline)
         else:
             self._drain_sync(deadline)
-        if (
+        if self._fleet is not None:
+            # flush and converge every shard: each live shard checkpoints
+            # its WAL and ships its replicas, so the drained fleet is as
+            # durable as a drained single kernel
+            if self._config.checkpoint_on_drain:
+                self._fleet.checkpoint()
+            self._fleet.pump()
+        elif (
             self._config.checkpoint_on_drain
             and getattr(self._db.kernel, "store", None) is not None
         ):
@@ -517,5 +555,8 @@ class QueryService:
             admission_latencies=latencies,
             replication=(
                 self._group.status() if self._group is not None else None
+            ),
+            sharding=(
+                self._fleet.status() if self._fleet is not None else None
             ),
         )

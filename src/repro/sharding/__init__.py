@@ -1,0 +1,44 @@
+"""Sharded kernel fleet with partial-failure-tolerant scatter-gather.
+
+The Cobra stack so far scales *down* gracefully — one kernel, one
+replicated group — but the paper's ambition (a broadcast archive of
+Formula 1 races) needs to scale *out*: more video than one kernel's BAT
+catalog should hold, served by a fleet that keeps answering when part of
+it is on fire. This package partitions the metadata by document
+(consistent hashing on the video id, :mod:`repro.sharding.ring`) across
+shards — each shard a durable :class:`repro.monet.MonetKernel`, optionally
+its own replicated :class:`repro.replication.KernelGroup` — behind a
+:class:`ShardedKernel` front (:mod:`repro.sharding.fleet`) that plans
+scatter-gather execution and degrades honestly: lost shards produce a
+:class:`ShardCoverageReport` on the result, not a stack trace, until
+coverage falls below the caller's floor and the gather fails loudly with
+:class:`repro.errors.InsufficientCoverageError`.
+
+``python -m repro.sharding`` runs the seeded shard-death chaos scenario
+(:mod:`repro.sharding.chaos`): shards are killed mid-scatter, the
+degraded answers are checked against exact coverage reports, the fleet
+rebalances, and the surviving catalogs must converge byte-for-byte —
+twice, with identical reports, or the run fails.
+"""
+
+from repro.sharding.fleet import (
+    FleetStatus,
+    GatherResult,
+    RebalanceReport,
+    ShardConfig,
+    ShardCoverageReport,
+    ShardStatus,
+    ShardedKernel,
+)
+from repro.sharding.ring import HashRing
+
+__all__ = [
+    "FleetStatus",
+    "GatherResult",
+    "HashRing",
+    "RebalanceReport",
+    "ShardConfig",
+    "ShardCoverageReport",
+    "ShardStatus",
+    "ShardedKernel",
+]

@@ -1,0 +1,405 @@
+"""Seeded chaos verification of the sharded kernel fleet.
+
+:func:`shard_death_scenario` drives one deterministic disaster across a
+three-shard fleet (one replica per shard):
+
+1. six documents are registered (the placement spread over the shards is
+   a pure function of the video ids and the ring) and shipped to the
+   replicas;
+2. a fan-out gather runs while the seeded plan fires on the shard
+   transports: ``shard-0`` lags (answered through a **hedged** replica
+   read), ``shard-1`` is killed with its replica partitioned (in-shard
+   failover finds nobody to promote — the shard is **dead**), and
+   ``shard-2`` is killed with its replica reachable (the shard **fails
+   over** internally and survives). The gather must return a degraded
+   result whose :class:`repro.sharding.ShardCoverageReport` matches the
+   expected report *exactly* — never an unhandled exception;
+3. the same query under a ``min_coverage=0.9`` floor must fail loudly
+   with a typed :class:`repro.errors.InsufficientCoverageError`;
+4. a new document owned by the failed-over shard is registered: the
+   fleet's cached lease predates the promotion, so the write must fence
+   and be retried under a fresh lease (``fenced_retries == 1``);
+5. the fleet rebalances: the dead shard's documents move to their ring
+   successors in journal order, a follow-up gather covers the full
+   corpus again, and every surviving shard's catalog must converge
+   byte-for-byte against a reference rebuild.
+
+:func:`placement_kill_sweep` separately crashes document registration at
+each two-phase crash point (``sharding.place:prepared`` — journal record
+written, rows not yet on the shard; ``sharding.place:registered`` — rows
+durable, commit record missing) and verifies recovery rolls the in-doubt
+placement back or forward respectively.
+
+Everything is a pure function of the plan seed: the CLI (``python -m
+repro.sharding``) runs the scenario twice and the reports must be
+byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.cobra.model import RawVideo, VideoDocument, VideoObject
+from repro.errors import InsufficientCoverageError, SimulatedCrash
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.sharding.fleet import (
+    ShardConfig,
+    ShardCoverageReport,
+    ShardedKernel,
+)
+from repro.synth.annotations import Interval
+
+__all__ = [
+    "PLACEMENT_KILL_SITES",
+    "PlacementSweepSummary",
+    "ShardChaosReport",
+    "placement_kill_sweep",
+    "shard_death_scenario",
+]
+
+#: The two-phase registration crash points the placement sweep kills at.
+PLACEMENT_KILL_SITES = (
+    "sharding.place:prepared",
+    "sharding.place:registered",
+)
+
+#: The corpus: placement over three shards is a pure function of these
+#: ids (race1/race4 -> shard-0; race0/race3/race5 -> shard-1;
+#: race2 -> shard-2 on the default ring).
+_VIDEO_IDS = ("race0", "race1", "race2", "race3", "race4", "race5")
+
+#: Registered after shard-2's failover; owned by shard-2, so the write
+#: must travel the fenced-retry path.
+_LATE_VIDEO = "race7"
+
+
+def _document(video_id: str) -> VideoDocument:
+    doc = VideoDocument(
+        raw=RawVideo(video_id, "synthetic://f1", 100.0, 10.0, 192, 144, 16000)
+    )
+    doc.add_object(VideoObject(f"{video_id}/d1", "driver", "HAKKINEN"))
+    doc.new_event(
+        "fly_out", Interval(10, 18), 0.9, {"driver": f"{video_id}/d1"}, "dbn"
+    )
+    return doc
+
+
+@dataclass
+class ShardChaosReport:
+    """Deterministic outcome of one shard-death scenario run."""
+
+    seed: int
+    degraded_coverage: dict[str, Any] = field(default_factory=dict)
+    degraded_records: int = 0
+    floor_error: dict[str, float] = field(default_factory=dict)
+    fenced_retries: int = 0
+    moves: list[list[str]] = field(default_factory=list)
+    final_coverage: dict[str, Any] = field(default_factory=dict)
+    dead: list[str] = field(default_factory=list)
+    epochs: dict[str, int] = field(default_factory=dict)
+    failures: list[str] = field(default_factory=list)
+    events: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        lines = [
+            f"{status}  shard-death scenario (seed={self.seed}): "
+            f"degraded coverage "
+            f"{self.degraded_coverage.get('fraction', '?')} with "
+            f"{self.degraded_records} record(s), "
+            f"{self.fenced_retries} fenced retry(ies), "
+            f"{len(self.moves)} rebalance move(s), dead {self.dead}"
+        ]
+        lines.extend(f"      {failure}" for failure in self.failures)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable, wall-clock-free form (the determinism and CI
+        artifact payload)."""
+        return {
+            "seed": self.seed,
+            "degraded_coverage": dict(self.degraded_coverage),
+            "degraded_records": self.degraded_records,
+            "floor_error": dict(self.floor_error),
+            "fenced_retries": self.fenced_retries,
+            "moves": [list(move) for move in self.moves],
+            "final_coverage": dict(self.final_coverage),
+            "dead": list(self.dead),
+            "epochs": dict(sorted(self.epochs.items())),
+            "failures": list(self.failures),
+            "events": list(self.events),
+            "ok": self.ok,
+        }
+
+
+def shard_death_scenario(
+    base_dir: str | Path,
+    seed: int = 2026,
+    fsync: bool = True,
+) -> ShardChaosReport:
+    """Run the seeded kill-shards-mid-scatter scenario once."""
+    plan = FaultPlan(
+        seed=seed,
+        name="shard-death-chaos",
+        specs=(
+            # shard-0 straggles once: the gather hedges a replica read
+            FaultSpec(
+                site="sharding.transport:shard-0",
+                kind="lag",
+                factor=2,
+                max_triggers=1,
+            ),
+            # shard-1 dies with its replica partitioned: nobody to promote
+            FaultSpec(
+                site="sharding.transport:shard-1",
+                kind="kill",
+                max_triggers=1,
+            ),
+            # shard-2 dies with its replica reachable: in-shard failover
+            FaultSpec(
+                site="sharding.transport:shard-2",
+                kind="kill",
+                max_triggers=1,
+            ),
+        ),
+    )
+    report = ShardChaosReport(seed=seed)
+    events = report.events
+    failures = report.failures
+
+    fleet = ShardedKernel(
+        base_dir,
+        shards=3,
+        config=ShardConfig(
+            min_coverage=0.25, replication=1, fsync=fsync
+        ),
+        faults=FaultInjector(plan),
+    )
+    for video_id in _VIDEO_IDS:
+        fleet.register_document(_document(video_id), "formula1")
+    fleet.pump()
+    events.append(f"registered {len(_VIDEO_IDS)} document(s); replicas caught up")
+
+    # shard-1's replica link is administratively severed: when the kill
+    # lands, its in-shard failover must find nobody to promote
+    fleet.shard("shard-1").group.partition("shard-1-r0")
+    events.append("shard-1's replica partitioned (failover will find nobody)")
+
+    # ---- the degraded gather -----------------------------------------
+    result = fleet.query("RETRIEVE fly_out")
+    coverage = result.coverage
+    report.degraded_coverage = coverage.to_dict()
+    report.degraded_records = len(result.records)
+    events.append(f"gather under fire: {coverage.describe()}")
+    expected = ShardCoverageReport(
+        plan="sequential",
+        targeted=("shard-0", "shard-1", "shard-2"),
+        answered=("shard-0",),
+        hedged=("shard-0",),
+        shed=(),
+        timed_out=("shard-2",),
+        dead=("shard-1",),
+        documents_total=6,
+        documents_covered=2,
+    )
+    if coverage != expected:
+        failures.append(
+            f"degraded coverage report mismatch: expected "
+            f"{expected.to_dict()}, got {coverage.to_dict()}"
+        )
+    if not result.degraded:
+        failures.append("a 2/6-coverage result did not report degraded")
+    if report.degraded_records != 2:
+        failures.append(
+            f"expected 2 record(s) from the surviving shard, got "
+            f"{report.degraded_records}"
+        )
+
+    # ---- the coverage floor ------------------------------------------
+    try:
+        fleet.query("RETRIEVE fly_out", min_coverage=0.9)
+        failures.append(
+            "a 0.5-coverage gather under a 0.9 floor did not raise "
+            "InsufficientCoverageError"
+        )
+    except InsufficientCoverageError as exc:
+        report.floor_error = {
+            "coverage": round(exc.coverage, 6),
+            "required": exc.required,
+        }
+        events.append(f"floor held: {exc}")
+        if exc.report is None or abs(exc.coverage - 0.5) > 1e-9:
+            failures.append(
+                f"floor error should carry the 0.5-coverage report, got "
+                f"coverage {exc.coverage}"
+            )
+
+    # ---- the fenced retry --------------------------------------------
+    # race7 is owned by shard-2, which failed over mid-scatter: the
+    # fleet's cached lease predates the promotion and must fence once
+    fleet.register_document(_document(_LATE_VIDEO), "formula1")
+    report.fenced_retries = fleet.fenced_retries
+    if fleet.fenced_retries != 1:
+        failures.append(
+            f"expected exactly 1 fenced write retry after shard-2's "
+            f"failover, got {fleet.fenced_retries}"
+        )
+    events.append(
+        f"late registration of {_LATE_VIDEO!r} fenced and retried under a "
+        f"fresh lease"
+    )
+
+    # ---- rebalance + convergence -------------------------------------
+    rebalance = fleet.rebalance()
+    report.moves = [list(move) for move in rebalance.moves]
+    events.append(f"rebalanced: {report.moves}")
+    if {move[1] for move in rebalance.moves} != {"shard-1"}:
+        failures.append(
+            f"rebalance must move exactly the dead shard's documents, "
+            f"moved {report.moves}"
+        )
+    if sorted(move[0] for move in rebalance.moves) != [
+        "race0", "race3", "race5",
+    ]:
+        failures.append(
+            f"expected race0/race3/race5 to leave shard-1, moved "
+            f"{report.moves}"
+        )
+
+    final = fleet.query("RETRIEVE fly_out")
+    report.final_coverage = final.coverage.to_dict()
+    if not final.coverage.complete:
+        failures.append(
+            f"post-rebalance gather is not complete: "
+            f"{final.coverage.describe()}"
+        )
+    if "shard-1" in final.coverage.targeted:
+        failures.append("post-rebalance gather still targets the dead shard")
+    if len(final.records) != 7:
+        failures.append(
+            f"expected all 7 record(s) after rebalance, got "
+            f"{len(final.records)}"
+        )
+
+    fleet.pump()
+    failures.extend(fleet.convergence_report())
+
+    status = fleet.status()
+    report.dead = fleet.dead_shards()
+    for shard_status in status.shards:
+        report.epochs[shard_status.name] = shard_status.epoch
+    if report.dead != ["shard-1"]:
+        failures.append(f"expected exactly shard-1 dead, got {report.dead}")
+    if report.epochs.get("shard-2") != 2:
+        failures.append(
+            f"expected shard-2 at epoch 2 after its in-shard failover, "
+            f"got {report.epochs.get('shard-2')}"
+        )
+    events.append("surviving catalogs converged byte-for-byte")
+    fleet.close()
+    return report
+
+
+@dataclass
+class PlacementSweepSummary:
+    """Two-phase registration crashed at every placement crash point."""
+
+    results: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(result["ok"] for result in self.results)
+
+    def describe(self) -> str:
+        lines = []
+        for result in self.results:
+            status = "ok" if result["ok"] else "FAIL"
+            lines.append(
+                f"{status}  kill@{result['site']}: recovery "
+                f"{result['resolution']}, placements "
+                f"{result['placements']}"
+            )
+            lines.extend(f"      {f}" for f in result["failures"])
+        good = sum(1 for result in self.results if result["ok"])
+        lines.append(
+            f"placement kill sweep: {good}/{len(self.results)} crash "
+            f"point(s) recovered to a consistent placement"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"results": list(self.results), "ok": self.ok}
+
+
+def placement_kill_sweep(
+    base_dir: str | Path,
+    seed: int = 2026,
+    fsync: bool = True,
+) -> PlacementSweepSummary:
+    """Crash registration at each two-phase crash point; recovery must
+    roll the in-doubt placement back (prepared) or forward (registered)."""
+    base = Path(base_dir)
+    summary = PlacementSweepSummary()
+    for site in PLACEMENT_KILL_SITES:
+        scratch = base / site.replace(":", "__").replace(".", "_")
+        plan = FaultPlan(
+            seed=seed,
+            name=f"placement-kill@{site}",
+            specs=(FaultSpec(site=site, kind="kill", max_triggers=1),),
+        )
+        failures: list[str] = []
+        fleet = ShardedKernel(
+            scratch,
+            shards=2,
+            config=ShardConfig(fsync=fsync),
+            faults=FaultInjector(plan),
+        )
+        crashed = False
+        try:
+            fleet.register_document(_document("race0"), "formula1")
+        except SimulatedCrash:
+            crashed = True
+        if not crashed:
+            failures.append(f"kill at {site} never fired")
+        fleet.close()
+
+        # reopen: recovery must resolve the in-doubt placement
+        recovered = ShardedKernel(
+            scratch, shards=2, config=ShardConfig(fsync=fsync)
+        )
+        placements = recovered.placements()
+        rows_durable = site == "sharding.place:registered"
+        resolution = "rolled forward" if rows_durable else "rolled back"
+        if rows_durable and "race0" not in placements:
+            failures.append(
+                "rows reached the owning shard before the crash but "
+                "recovery rolled the placement back"
+            )
+        if not rows_durable and placements:
+            failures.append(
+                f"no rows reached any shard but recovery committed "
+                f"{placements}"
+            )
+        # re-registration must complete (or idempotently restore) the
+        # placement either way, and the catalogs must converge
+        recovered.register_document(_document("race0"), "formula1")
+        if "race0" not in recovered.placements():
+            failures.append("re-registration after recovery did not place")
+        failures.extend(recovered.convergence_report())
+        recovered.close()
+        summary.results.append(
+            {
+                "site": site,
+                "resolution": resolution,
+                "placements": placements,
+                "failures": failures,
+                "ok": not failures,
+            }
+        )
+    return summary

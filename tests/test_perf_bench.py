@@ -40,6 +40,7 @@ def test_harness_writes_bench_document(tmp_path):
         "dbn_inference",
         "end_to_end_query",
         "replicated_read_fanout",
+        "sharded_scatter_gather",
     }
     for stats in document["benchmarks"].values():
         assert stats["mean_s"] > 0

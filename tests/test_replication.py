@@ -607,6 +607,66 @@ class TestFencingAndFailover:
         group.close()
 
 
+class TestPromotionRace:
+    def test_reads_race_a_promotion_without_untyped_errors(self, tmp_path):
+        """Readers hammer ``route_read`` while another thread deposes the
+        primary and promotes a replica. Every read must either land on a
+        node of the known topology or fail with a *typed* error — no
+        torn routing, no AttributeError from a half-swapped primary."""
+        import threading
+
+        clock = FakeClock()
+        primary = make_primary(tmp_path)
+        group = make_group(
+            tmp_path,
+            primary=primary,
+            clock=clock,
+            config=GroupConfig(fsync=False),
+        )
+        primary.persist("laps", lap_bat())
+        group.pump()
+
+        nodes: list[str] = []
+        surprises: list[BaseException] = []
+        barrier = threading.Barrier(2)
+
+        def reader():
+            barrier.wait()
+            for _ in range(300):
+                try:
+                    routed = group.route_read(policy="bounded(60000)")
+                    nodes.append(routed.node)
+                except (StalenessBoundError, ReplicationError):
+                    pass  # a read mid-swap may find nobody attestable
+                except BaseException as exc:  # noqa: BLE001
+                    surprises.append(exc)
+
+        def promoter():
+            barrier.wait()
+            group.report_primary_failure()
+            group.failover()
+
+        threads = [
+            threading.Thread(target=reader),
+            threading.Thread(target=promoter),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not surprises, surprises
+        known = {"primary", "replica-0", "replica-1"}
+        assert nodes and set(nodes) <= known
+        # the swap completed: epoch bumped, and post-swap reads land on
+        # the new topology (the deposed primary is out of the group)
+        assert group.epoch == 2
+        assert group.primary_name == "replica-0"
+        after = [group.route_read(policy="any").node for _ in range(5)]
+        assert set(after) <= {"replica-0", "replica-1"}
+        group.close()
+
+
 # ---------------------------------------------------------------------------
 # status
 # ---------------------------------------------------------------------------
