@@ -16,7 +16,13 @@ fused compiler would accelerate —
   ``primary`` / ``any`` / ``bounded(ms)`` read policies;
 * ``sharded_scatter_gather`` — COQL gathers across a three-shard
   consistent-hash fleet, mixing fan-out scatters (every shard answers,
-  results merged with a coverage report) with shard-local routed queries
+  results merged with a coverage report) with shard-local routed queries;
+* ``check_whole_program`` — cold + memoized whole-program analysis
+  (call-graph summaries, SCC propagation, program-level regions) over a
+  layered synthetic call graph, the overhead every registration pays;
+* ``equivcheck_certify`` — Moa→MIL translation validation of every
+  built-in plan: compile, symbolically execute both sides, normalize,
+  certify
 
 — and writes per-benchmark mean/min/max seconds plus derived rows/s into a
 ``BENCH_perf.json`` document (schema ``repro-bench-perf/1``). CI uploads
@@ -262,6 +268,70 @@ def bench_sharded_scatter_gather(rows: int, repeats: int) -> dict:
         return summary
 
 
+def bench_check_whole_program(rows: int, repeats: int) -> dict:
+    """Whole-program analysis cost over a synthetic call-graph of PROCs.
+
+    Builds a layered program (``rows / 500`` procedures, each calling the
+    previous layer) and measures a full ProgramChecker pass — summary
+    computation, SCC propagation, and program-level region partitioning —
+    followed by a fully-memoized re-run, so the measured number is the
+    cold cost the registration choke points pay and the cache makes
+    repeatable registrations cheap.
+    """
+    from repro.check.programcheck import ProgramChecker
+    from repro.monet.kernel import MonetKernel
+
+    n_procs = max(4, min(64, rows // 500))
+    lines = ["PROC layer0(BAT[void,dbl] x) : dbl := { RETURN x.sum(); }"]
+    for index in range(1, n_procs):
+        lines.append(
+            f"PROC layer{index}(BAT[void,dbl] x) : dbl := {{\n"
+            f"  VAR a := x.select(0.0, 1.0);\n"
+            f"  RETURN layer{index - 1}(a);\n"
+            f"}}"
+        )
+    source = "\n".join(lines)
+    kernel = MonetKernel(check="off")
+    interp = kernel.interpreter
+    env = dict(
+        commands=interp._commands,
+        signatures=interp._signatures,
+        globals_names=list(interp._globals.variables),
+        procedures=dict(interp._procs),
+    )
+
+    def check() -> None:
+        checker = ProgramChecker(**env)
+        checker.check_source(source, name="<bench>")
+        checker.check_source(source, name="<bench>")  # memoized re-run
+
+    return _summary(_time(check, repeats), n_procs)
+
+
+def bench_equivcheck_certify(rows: int, repeats: int) -> dict:
+    """Translation-validation cost: compile + certify every built-in plan.
+
+    Measures the full ``MoaCompiler.compile`` path with checking on —
+    precheck, emission, symbolic execution of both sides, normalization,
+    certificate construction — for each plan in ``builtin_moa_plans()``.
+    The certificate is asserted present so the benchmark cannot silently
+    measure an uncertified path.
+    """
+    from repro.moa.rewrite import MoaCompiler, builtin_moa_plans
+    from repro.monet.kernel import MonetKernel
+
+    kernel = MonetKernel(check="off")
+    plans = builtin_moa_plans()
+
+    def certify() -> None:
+        compiler = MoaCompiler(kernel, check="warn")
+        for name, expr in plans.items():
+            plan = compiler.compile(expr)
+            assert plan.equivalence is not None, name
+
+    return _summary(_time(certify, repeats), len(plans))
+
+
 BENCHMARKS = {
     "select_chain": bench_select_chain,
     "join_aggregate": bench_join_aggregate,
@@ -269,6 +339,8 @@ BENCHMARKS = {
     "end_to_end_query": bench_end_to_end_query,
     "replicated_read_fanout": bench_replicated_read_fanout,
     "sharded_scatter_gather": bench_sharded_scatter_gather,
+    "check_whole_program": bench_check_whole_program,
+    "equivcheck_certify": bench_equivcheck_certify,
 }
 
 

@@ -43,7 +43,20 @@ the reproduction's three levels:
   route to the owning shard, replicated shards must fence, a coverage
   floor should be declared, and fusion regions certified under one
   kernel's BAT lock must be de-certified when scattered (SHARD004,
-  advisory like PERF/FUSE).
+  advisory like PERF/FUSE);
+* :mod:`repro.check.programcheck` (with :mod:`repro.check.callgraph`) —
+  whole-program interprocedural analysis: per-PROC effect/flow/cost
+  summaries propagated bottom-up in SCC order over the call graph of all
+  registered procedures, memoized by source fingerprint (``CALLnnn``
+  codes): unresolved call targets, unbounded recursion without a
+  ``cancelpoint``, callees that commit inside a caller's certified
+  fusion region, and interprocedural ``PARALLEL`` races;
+* :mod:`repro.check.equivcheck` — Moa→MIL translation validation:
+  symbolic execution of both sides over an abstract BAT-algebra
+  semantics, certifying every compiled plan equivalent to its source
+  expression (``EQnnn`` codes); EQ001 certificates are serialized as
+  :class:`EquivalenceCertificate` artifacts on :class:`MilPlan` and gate
+  eligibility for compiled execution.
 
 All passes report :class:`Diagnostic` findings through a shared
 :class:`DiagnosticReport`; error-severity findings raise the matching
@@ -58,6 +71,7 @@ Run the linter from the command line::
     python -m repro.check --strict --format sarif examples/
 """
 
+from repro.check.callgraph import CallGraph, CallSite, collect_call_sites, fingerprint
 from repro.check.catalogcheck import check_catalog
 from repro.check.costcheck import (
     CostChecker,
@@ -72,6 +86,12 @@ from repro.check.diagnostics import (
     Diagnostic,
     DiagnosticReport,
     Severity,
+)
+from repro.check.equivcheck import (
+    EquivalenceCertificate,
+    abstract_mil,
+    abstract_moa,
+    validate_translation,
 )
 from repro.check.flowcheck import (
     FlowChecker,
@@ -92,6 +112,12 @@ from repro.check.milcheck import check_source as check_mil_source
 from repro.check.moacheck import MoaChecker
 from repro.check.moacheck import check_expr as check_moa_expr
 from repro.check.modelcheck import check_cpd, check_network, check_template
+from repro.check.programcheck import (
+    ProcSummary,
+    ProgramChecker,
+    SummaryCache,
+    check_program_source,
+)
 from repro.check.racecheck import RaceChecker, check_race_source
 from repro.check.replcheck import check_group_config, parse_read_policy
 from repro.check.sanitize import KernelSanitizer
@@ -103,11 +129,14 @@ from repro.check.servicecheck import (
 )
 
 __all__ = [
+    "CallGraph",
+    "CallSite",
     "CheckMode",
     "CostChecker",
     "Diagnostic",
     "DiagnosticReport",
     "Effects",
+    "EquivalenceCertificate",
     "FlowChecker",
     "FuseChecker",
     "FusionPlan",
@@ -115,9 +144,14 @@ __all__ = [
     "KernelSanitizer",
     "MilChecker",
     "MoaChecker",
+    "ProcSummary",
+    "ProgramChecker",
     "RaceChecker",
     "ServiceChecker",
     "Severity",
+    "SummaryCache",
+    "abstract_mil",
+    "abstract_moa",
     "check_catalog",
     "check_cost_source",
     "check_cpd",
@@ -132,13 +166,17 @@ __all__ = [
     "check_moa_expr",
     "check_moa_flow",
     "check_network",
+    "check_program_source",
     "check_race_source",
     "check_scatter_source",
     "check_service_proc",
     "check_service_source",
     "check_template",
+    "collect_call_sites",
     "estimate_extraction_cost",
     "estimate_model_cost",
     "estimate_moa_cost",
+    "fingerprint",
     "parse_read_policy",
+    "validate_translation",
 ]

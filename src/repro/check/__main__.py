@@ -7,13 +7,16 @@ temporal variants v1/v2/v3, and the audio-visual DBN).
 
 With paths, each is a ``.mil`` file (directories are searched recursively)
 linted against the standard Cobra kernel command set.  Every MIL artifact
-runs through all six passes: the per-statement checker
+runs through all seven passes: the per-statement checker
 (:mod:`repro.check.milcheck`), the dataflow/range analysis
 (:mod:`repro.check.flowcheck`), the PARALLEL race analysis
 (:mod:`repro.check.racecheck`), the plan-cost analysis
 (:mod:`repro.check.costcheck`), the purity/fusibility analysis
-(:mod:`repro.check.fusecheck`), and the scatter-placement analysis
-(:mod:`repro.check.shardcheck`).
+(:mod:`repro.check.fusecheck`), the scatter-placement analysis
+(:mod:`repro.check.shardcheck`), and the whole-program call-graph
+analysis (:mod:`repro.check.programcheck`).  Lint runs over the built-ins
+add an eighth pass: every built-in Moa plan is compiled and its emitted
+MIL validated equivalent (:mod:`repro.check.equivcheck`).
 
 Options:
 
@@ -23,11 +26,18 @@ Options:
 * ``--strict`` — warnings also fail the build (exit 1).  Advisory families
   (``PERF``/``FUSE`` performance-and-fusibility hints, plus the ``SHARD``
   scatter-placement hints — SHARD004 informs where a plan may run, not
-  whether it is correct) are exempt: they never change the exit status,
-  so ``--strict`` still fails only on error-severity findings plus
-  genuine correctness warnings, and seed plans with perf hints keep CI
-  green.  The error-severity SHARD findings (SHARD001/SHARD003) are not
-  warnings and fail the build like any other error.
+  whether it is correct — and ``EQ003``, which reports that a plan fell
+  back to the interpreter, not that it is wrong) are exempt: they never
+  change the exit status, so ``--strict`` still fails only on
+  error-severity findings plus genuine correctness warnings, and seed
+  plans with perf hints keep CI green.  The error-severity SHARD findings
+  (SHARD001/SHARD003) are not warnings and fail the build like any other
+  error.
+* ``--baseline PATH`` — compare the run's diagnostics against a committed
+  baseline (JSON mapping ``"CODE@source"`` to counts).  Any (code,
+  source) pair that appears more often than the baseline records fails
+  the build, advisory or not: a *new* finding on a built-in artifact is a
+  regression even when the family is informational.
 
 Exit status: 0 when no failing diagnostics were found, 1 when some were,
 2 on usage errors.
@@ -48,14 +58,17 @@ from repro.check.flowcheck import FlowChecker
 from repro.check.fusecheck import FuseChecker
 from repro.check.milcheck import MilChecker
 from repro.check.modelcheck import check_template
+from repro.check.programcheck import ProgramChecker
 from repro.check.racecheck import RaceChecker
 from repro.check.shardcheck import check_scatter_source
 
 #: Diagnostic-code prefixes that are advisory: they inform (and land in
 #: reports/SARIF) but never fail the build, not even under ``--strict``.
 #: Only warning-severity findings consult this list, so SHARD's
-#: error-severity configuration findings still fail the build.
-ADVISORY_PREFIXES = ("PERF", "FUSE", "SHARD")
+#: error-severity configuration findings still fail the build.  EQ003 is
+#: the exact-code entry: "unsupported construct, interpreter fallback" is
+#: a capability note, while EQ002 (error severity) stays fatal.
+ADVISORY_PREFIXES = ("PERF", "FUSE", "SHARD", "EQ003")
 
 _SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
 _SARIF_LEVELS = {
@@ -87,7 +100,7 @@ def _checker_env(kernel, exclude_procs: tuple[str, ...] = ()) -> dict:
 
 
 def _check_mil(env: dict, source: str, name: str) -> DiagnosticReport:
-    """Run all six MIL passes over one source artifact."""
+    """Run all seven MIL passes over one source artifact."""
     report = DiagnosticReport()
     report.extend(MilChecker(**env).check_source(source, name=name))
     report.extend(FlowChecker(**env).check_source(source, name=name))
@@ -95,6 +108,7 @@ def _check_mil(env: dict, source: str, name: str) -> DiagnosticReport:
     report.extend(CostChecker(**env).check_source(source, name=name))
     report.extend(FuseChecker(**env).check_source(source, name=name))
     report.extend(check_scatter_source(source, name=name, **env))
+    report.extend(ProgramChecker(**env).check_source(source, name=name))
     return report
 
 
@@ -111,6 +125,31 @@ def _check_builtin_mil(kernel) -> DiagnosticReport:
         "hmmP", [f"model{i}" for i in range(6)], n_servers=6
     )
     report.extend(_check_mil(env, parallel_source, "<hmmP>"))
+    return report
+
+
+def _check_builtin_moa(kernel) -> DiagnosticReport:
+    """Pass 8: compile every built-in Moa plan and validate the translation.
+
+    Each plan must come back with an EQ001 certificate; a missing
+    certificate surfaces as EQ002 (mis-translation, error) or EQ003
+    (unsupported construct, advisory) from the compiler's validator.
+    """
+    from repro.moa.rewrite import MoaCompiler, builtin_moa_plans
+
+    report = DiagnosticReport()
+    compiler = MoaCompiler(kernel, check="warn")
+    for plan_name, expr in builtin_moa_plans().items():
+        before = len(compiler.diagnostics)
+        compiler.compile(expr)
+        for diagnostic in compiler.diagnostics[before:]:
+            if diagnostic.code.startswith("EQ"):
+                report.add(
+                    diagnostic.code,
+                    f"[{plan_name}] {diagnostic.message}",
+                    diagnostic.severity,
+                    source=f"<moa:{plan_name}>",
+                )
     return report
 
 
@@ -228,6 +267,35 @@ def _json_document(report: DiagnosticReport, checked: str) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# baseline diffing
+# ---------------------------------------------------------------------------
+
+
+def baseline_counts(report: DiagnosticReport) -> dict[str, int]:
+    """Histogram of ``"CODE@source"`` keys — the committed-baseline format."""
+    counts: dict[str, int] = {}
+    for diagnostic in report.sorted():
+        key = f"{diagnostic.code}@{diagnostic.source or '<input>'}"
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def _diff_baseline(report: DiagnosticReport, path: str) -> list[str]:
+    """Keys exceeding the committed baseline (new findings = regressions)."""
+    try:
+        recorded = json.loads(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        return [f"<unreadable baseline {path}: {exc}>"]
+    counts = recorded.get("counts", recorded) if isinstance(recorded, dict) else {}
+    regressions: list[str] = []
+    for key, count in sorted(baseline_counts(report).items()):
+        allowed = int(counts.get(key, 0))
+        if count > allowed:
+            regressions.append(f"{key} ({count} > baseline {allowed})")
+    return regressions
+
+
+# ---------------------------------------------------------------------------
 # entry point
 # ---------------------------------------------------------------------------
 
@@ -254,6 +322,11 @@ def _parse_args(argv: list[str]) -> argparse.Namespace | int:
         action="store_true",
         help="treat warnings as failures (exit 1)",
     )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="fail on diagnostics not accounted for in this JSON baseline",
+    )
     try:
         return parser.parse_args(argv)
     except SystemExit as exc:
@@ -277,7 +350,8 @@ def main(argv: list[str] | None = None) -> int:
         kernel = _build_kernel()
         report.extend(_check_builtin_mil(kernel))
         report.extend(_check_builtin_models())
-        checked = "built-in MIL procedures and fusion networks"
+        report.extend(_check_builtin_moa(kernel))
+        checked = "built-in MIL procedures, fusion networks, and Moa plans"
     errors, warnings = len(report.errors), len(report.warnings)
     if args.output_format == "json":
         print(json.dumps(_json_document(report, checked), indent=2))
@@ -295,6 +369,12 @@ def main(argv: list[str] | None = None) -> int:
         for d in report.warnings
         if not d.code.startswith(ADVISORY_PREFIXES)
     ]
+    if args.baseline:
+        regressions = _diff_baseline(report, args.baseline)
+        if regressions:
+            for item in regressions:
+                print(f"repro.check: baseline regression: {item}", file=sys.stderr)
+            return 1
     if errors or (args.strict and failing_warnings):
         return 1
     return 0

@@ -1,0 +1,807 @@
+"""Whole-program interprocedural analysis of MIL procedures (``CALLnnn``).
+
+Every earlier pass is intraprocedural: a ``CALL`` is a hole in their facts.
+This pass closes the hole. It builds the call graph over all registered
+procedures (:mod:`repro.check.callgraph`), computes one
+:class:`ProcSummary` per PROC — effects in the fusecheck vocabulary
+(commits / impure / parameter appends vs. writes / global writes), flow
+facts from flowcheck, a cost estimate from costcheck, and cancellation
+reachability in the servicecheck sense — and propagates summaries bottom-up
+in SCC order, iterating recursive components to a fixpoint, so the existing
+codes' concerns fire *across* call boundaries.
+
+Summaries are memoized in a :class:`SummaryCache` keyed by the procedure's
+source :func:`~repro.check.callgraph.fingerprint`: repeated registrations
+of unchanged procs are cache hits, and redefining a proc invalidates (and
+re-analyzes) exactly its transitive callers.
+
+Fusion regions become *program-level* here: a call to a callee whose
+summary is pure no longer breaks a region the way intraprocedural
+fusecheck must assume — the region extends across the call. That extension
+is what CALL003 guards: when a callee is later redefined so that it commits
+a WAL transaction, every caller whose certified program-level region
+contains a call to it has a stale certificate, and the redefinition is
+rejected at the choke point.
+
+Diagnostic codes:
+
+========  =============  ==================================================
+code      severity       meaning
+========  =============  ==================================================
+CALL001   error          call target undefined at registration: the name is
+                         no command, no registered/pending PROC, no local,
+                         and no catalog global
+CALL002   error/warning  unbounded recursion: a call-graph cycle whose
+                         recursive call is unconditional (error — the
+                         runtime guard will raise ``MilRecursionError`` at
+                         ``MIL_RECURSION_LIMIT``), or a conditional cycle
+                         with no reachable ``cancelpoint()`` (warning — the
+                         depth guard is the only backstop)
+CALL003   error          a callee (transitively) commits a WAL transaction
+                         inside a caller's certified program-level fusion
+                         region — the redefinition invalidates the caller's
+                         certificate
+CALL004   error          a callee writes (non-append) a BAT that another
+                         ``PARALLEL`` branch of the caller touches — an
+                         interprocedural race invisible to racecheck
+========  =============  ==================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Mapping
+
+from repro.check.callgraph import CallGraph, collect_call_sites, fingerprint
+from repro.check.diagnostics import DiagnosticReport, Severity
+from repro.check.fusecheck import IMPURE_COMMANDS, FuseChecker
+from repro.check.racecheck import APPEND_METHODS, CATALOG_COMMANDS, WRITE_METHODS
+from repro.check.servicecheck import CHECKPOINT_COMMANDS
+from repro.errors import MilSyntaxError
+from repro.monet.mil import (
+    MIL_RECURSION_LIMIT,
+    Assign,
+    Call,
+    ExprStmt,
+    If,
+    MethodCall,
+    MilProcedure,
+    Name,
+    Parallel,
+    ProcDef,
+    Return,
+    VarDecl,
+    While,
+    parse,
+)
+
+__all__ = [
+    "ProcSummary",
+    "ProgramChecker",
+    "SummaryCache",
+    "check_program_source",
+]
+
+
+@dataclass(frozen=True)
+class ProcSummary:
+    """Transitive effect/flow/cost facts of one procedure.
+
+    ``param_appends``/``param_writes`` are parameter *indices*: callers map
+    them back onto their own argument names at each call site. All fields
+    are transitive — a proc that calls ``persist`` three levels down still
+    has ``commits=True``.
+    """
+
+    name: str
+    fingerprint: str
+    #: Transitively commits a WAL transaction (``persist``/``drop``).
+    commits: bool = False
+    #: Residual impure calls reachable from the body (print, threadcnt, …)
+    #: — catalog commits are tracked separately in ``commits``.
+    impure: tuple[str, ...] = ()
+    #: Parameter indices the proc (transitively) appends to.
+    param_appends: tuple[int, ...] = ()
+    #: Parameter indices the proc (transitively) mutates non-append.
+    param_writes: tuple[int, ...] = ()
+    #: Catalog/global names the proc (transitively) mutates non-append.
+    global_writes: tuple[str, ...] = ()
+    #: A ``cancelpoint()`` is reachable from the body (servicecheck sense).
+    has_cancelpoint: bool = False
+    #: costcheck estimate of one call, callee costs included.
+    cost: float = 0.0
+    #: Number of flowcheck findings in the body (0 = flow-clean).
+    flow_findings: int = 0
+    #: Distinct procedure callees, in first-call order.
+    calls: tuple[str, ...] = ()
+
+    @property
+    def pure(self) -> bool:
+        """Safe to fuse across a call: no commits, no residual impurity."""
+        return not self.commits and not self.impure
+
+
+@dataclass
+class _Entry:
+    fingerprint: str
+    summary: ProcSummary
+    #: Call sites to known procs inside certified program-level regions,
+    #: as ``(callee, line, start_line, end_line)`` — the CALL003 facts.
+    region_calls: tuple[tuple[str, int | None, int, int], ...]
+    definition: ProcDef
+
+
+class SummaryCache:
+    """Per-proc summary memo keyed by source fingerprint.
+
+    One instance lives on each :class:`repro.monet.mil.MilInterpreter`
+    (``program_cache``) so repeated ``define_proc`` calls re-analyze only
+    procs whose source actually changed. ``hits``/``misses``/
+    ``invalidations`` make the memoization testable.
+    """
+
+    def __init__(self) -> None:
+        self.entries: dict[str, _Entry] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def lookup(self, name: str, fp: str) -> _Entry | None:
+        entry = self.entries.get(name)
+        if entry is not None and entry.fingerprint == fp:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def store(self, name: str, entry: _Entry) -> None:
+        self.entries[name] = entry
+
+    def invalidate(self, name: str) -> None:
+        if name in self.entries:
+            del self.entries[name]
+            self.invalidations += 1
+
+    def callers_of(self, name: str) -> list[str]:
+        return sorted(
+            caller
+            for caller, entry in self.entries.items()
+            if name in entry.summary.calls
+        )
+
+
+class _ProgramFuseChecker(FuseChecker):
+    """Fusecheck with summary-aware call classification.
+
+    Where intraprocedural fusecheck must treat every proc call as impure,
+    this variant consults the callee's :class:`ProcSummary`: a pure callee
+    is region-transparent (the region extends across the call), an impure
+    or committing callee stays a barrier.
+    """
+
+    def __init__(self, summaries: Mapping[str, ProcSummary], **environment: Any):
+        super().__init__(**environment)
+        self._summaries = summaries
+
+    def _classify_call(
+        self, func: str, flags: dict[str, bool], impure: list[str]
+    ) -> None:
+        summary = self._summaries.get(func)
+        if summary is not None:
+            if summary.pure:
+                flags["bat"] = True  # a pure callee is fusible BAT work
+                return
+            if summary.commits:
+                flags["commit"] = True
+            impure.append(func)
+            return
+        super()._classify_call(func, flags, impure)
+
+
+class ProgramChecker:
+    """Whole-program call-graph analysis (CALL001–CALL004).
+
+    Constructor arguments mirror the other passes so one ``**environment``
+    serves all of them; ``cache`` is the interpreter's persistent
+    :class:`SummaryCache` (a fresh one is used when omitted).
+    """
+
+    def __init__(
+        self,
+        commands: Mapping[str, Any] | Iterable[str] | None = None,
+        signatures: Mapping[str, Any] | None = None,
+        globals_names: Iterable[str] = (),
+        procedures: Mapping[str, Any] | None = None,
+        cache: SummaryCache | None = None,
+    ):
+        self._commands = set(commands or ())
+        self._signatures = dict(signatures or {})
+        self._globals = set(globals_names)
+        self._context: dict[str, ProcDef] = {
+            name: (p.definition if isinstance(p, MilProcedure) else p)
+            for name, p in (procedures or {}).items()
+        }
+        self._cache = cache if cache is not None else SummaryCache()
+
+    # -- entry points ----------------------------------------------------
+    def check_source(self, source: str, name: str = "<mil>") -> DiagnosticReport:
+        """Parse MIL source and program-check its PROCs in define order.
+
+        Definitions are processed sequentially, so an in-file redefinition
+        that breaks an earlier caller's certificate (CALL003) is caught the
+        same way the interpreter's choke point catches it.
+        """
+        report = DiagnosticReport()
+        try:
+            statements = parse(source)
+        except MilSyntaxError:
+            return report  # syntax is milcheck's job
+        defs = [s for s in statements if isinstance(s, ProcDef)]
+        # seed forward references with their FIRST definition only: a later
+        # in-file redefinition must stay invisible until its own define
+        # step, or the temporal CALL003 semantics would evaporate
+        for definition in defs:
+            self._context.setdefault(definition.name, definition)
+        for definition in defs:
+            report.extend(self.on_define(definition, source=name))
+        return report
+
+    def check_program(
+        self, procedures: Mapping[str, Any] | None = None
+    ) -> DiagnosticReport:
+        """Program-check an already-registered procedure set in order."""
+        procs = {
+            name: (p.definition if isinstance(p, MilProcedure) else p)
+            for name, p in (procedures or self._context).items()
+        }
+        self._context.update(procs)
+        report = DiagnosticReport()
+        for definition in procs.values():
+            report.extend(self.on_define(definition, source=definition.name))
+        return report
+
+    def summary(self, name: str) -> ProcSummary | None:
+        entry = self._cache.entries.get(name)
+        return entry.summary if entry is not None else None
+
+    # -- incremental define ----------------------------------------------
+    def on_define(
+        self, definition: ProcDef | MilProcedure, source: str | None = None
+    ) -> DiagnosticReport:
+        """Analyze one (re)definition against the cached program state."""
+        if isinstance(definition, MilProcedure):
+            definition = definition.definition
+        name = definition.name
+        src = source or name
+        report = DiagnosticReport()
+        fp = fingerprint(definition)
+        previous = self._cache.entries.get(name)
+        redefined = previous is not None and previous.fingerprint != fp
+        self._context[name] = definition
+
+        entry = self._cache.lookup(name, fp)
+        if entry is None:
+            entry = self._compute_entry(name, definition, fp)
+            self._cache.store(name, entry)
+
+        self._check_unresolved(definition, entry, report, src)
+        self._check_recursion(name, report, src)
+        self._check_parallel_races(definition, entry, report, src)
+        if redefined:
+            self._check_stale_certificates(name, entry.summary, report, src)
+            self._recompute_callers(name)
+        return report
+
+    # -- summary computation ---------------------------------------------
+    def _compute_entry(self, name: str, definition: ProcDef, fp: str) -> _Entry:
+        summaries = self._resolve_summaries(name)
+        summary = self._summarize(definition, fp, summaries)
+        # fixpoint for recursion: re-summarize against a view including
+        # this proc until the summary is stable (effects are monotone over
+        # a finite lattice, so this terminates quickly)
+        for _ in range(len(summary.calls) + 2):
+            view = {**summaries, name: summary}
+            nxt = self._summarize(definition, fp, view)
+            if nxt == summary:
+                break
+            summary = nxt
+        region_calls = self._region_calls(
+            definition, {**summaries, name: summary}
+        )
+        return _Entry(fp, summary, region_calls, definition)
+
+    def _resolve_summaries(self, pending: str) -> dict[str, ProcSummary]:
+        """Summaries for the pending proc's callee closure, bottom-up.
+
+        Restricted to procs reachable from the pending definition: eagerly
+        summarizing unrelated procs would cache premature entries for
+        *callers* of the pending proc (whose summary is excluded here),
+        and those degraded entries would survive as cache hits.
+        """
+        closure: dict[str, ProcDef] = {}
+        frontier = [
+            site.callee
+            for site in collect_call_sites(self._context[pending])
+            if site.callee in self._context and site.callee != pending
+        ]
+        while frontier:
+            callee = frontier.pop()
+            if callee in closure or callee == pending:
+                continue
+            closure[callee] = self._context[callee]
+            frontier.extend(
+                site.callee
+                for site in collect_call_sites(self._context[callee])
+                if site.callee in self._context
+            )
+        needed = {
+            n: d
+            for n, d in closure.items()
+            if self._cache.lookup(n, fingerprint(d)) is None
+        }
+        if needed:
+            graph = CallGraph(needed)
+            for component in graph.sccs():
+                self._summarize_component(component, graph)
+        out: dict[str, ProcSummary] = {}
+        for n, entry in self._cache.entries.items():
+            if n != pending:
+                out[n] = entry.summary
+        return out
+
+    def _summarize_component(
+        self, component: tuple[str, ...], graph: CallGraph
+    ) -> None:
+        view: dict[str, ProcSummary] = {
+            n: e.summary for n, e in self._cache.entries.items()
+        }
+        fps = {n: fingerprint(graph.procs[n]) for n in component}
+        # optimistic bootstrap for cycle members, then iterate to fixpoint
+        for n in component:
+            view[n] = ProcSummary(name=n, fingerprint=fps[n])
+        for _ in range(len(component) + 2):
+            changed = False
+            for n in component:
+                nxt = self._summarize(graph.procs[n], fps[n], view)
+                if nxt != view[n]:
+                    view[n] = nxt
+                    changed = True
+            if not changed:
+                break
+        for n in component:
+            region_calls = self._region_calls(graph.procs[n], view)
+            self._cache.store(
+                n, _Entry(fps[n], view[n], region_calls, graph.procs[n])
+            )
+
+    def _summarize(
+        self,
+        definition: ProcDef,
+        fp: str,
+        summaries: Mapping[str, ProcSummary],
+    ) -> ProcSummary:
+        params = [p.ident for p in definition.params]
+        param_index = {ident: i for i, ident in enumerate(params)}
+        locals_: set[str] = set(params)
+        _collect_locals(definition.body, locals_)
+
+        commits = False
+        impure: list[str] = []
+        param_appends: set[int] = set()
+        param_writes: set[int] = set()
+        global_writes: list[str] = []
+        has_cancelpoint = False
+        calls: list[str] = []
+
+        def note_write(ident: str, append: bool) -> None:
+            if ident in param_index:
+                (param_appends if append else param_writes).add(
+                    param_index[ident]
+                )
+            elif ident not in locals_:
+                if not append and ident not in global_writes:
+                    global_writes.append(ident)
+
+        for site in collect_call_sites(definition):
+            func = site.callee
+            if func in CATALOG_COMMANDS:
+                commits = True
+                # persist("name", bat) mutates the catalog entry
+                continue
+            if func in CHECKPOINT_COMMANDS:
+                has_cancelpoint = True
+                continue
+            if func in IMPURE_COMMANDS:
+                if func not in impure:
+                    impure.append(func)
+                continue
+            callee = summaries.get(func)
+            if callee is not None:
+                if func not in calls:
+                    calls.append(func)
+                commits = commits or callee.commits
+                has_cancelpoint = has_cancelpoint or callee.has_cancelpoint
+                for item in callee.impure:
+                    if item not in impure:
+                        impure.append(item)
+                for index in callee.param_appends:
+                    if index < len(site.arg_names) and site.arg_names[index]:
+                        note_write(site.arg_names[index], append=True)
+                for index in callee.param_writes:
+                    if index < len(site.arg_names) and site.arg_names[index]:
+                        note_write(site.arg_names[index], append=False)
+                for ident in callee.global_writes:
+                    if ident not in global_writes:
+                        global_writes.append(ident)
+                continue
+            if func in self._context:
+                # known proc without a summary yet (cycle bootstrap):
+                # recorded as a call edge, effects folded in at fixpoint
+                if func not in calls:
+                    calls.append(func)
+
+        for target, method in _method_mutations(definition.body):
+            note_write(target, append=method in APPEND_METHODS)
+
+        cost = self._estimate_cost(definition, summaries, calls)
+        flow_findings = self._count_flow_findings(definition)
+        return ProcSummary(
+            name=definition.name,
+            fingerprint=fp,
+            commits=commits,
+            impure=tuple(impure),
+            param_appends=tuple(sorted(param_appends)),
+            param_writes=tuple(sorted(param_writes)),
+            global_writes=tuple(global_writes),
+            has_cancelpoint=has_cancelpoint,
+            cost=cost,
+            flow_findings=flow_findings,
+            calls=tuple(calls),
+        )
+
+    def _estimate_cost(
+        self,
+        definition: ProcDef,
+        summaries: Mapping[str, ProcSummary],
+        calls: list[str],
+    ) -> float:
+        from repro.check.costcheck import CostChecker
+
+        local = CostChecker(
+            commands=self._commands,
+            signatures=self._signatures,
+            globals_names=self._globals,
+            procedures=self._context,
+        ).estimate_proc(definition)
+        transitive = sum(
+            summaries[callee].cost for callee in calls if callee in summaries
+        )
+        return float(local) + float(transitive)
+
+    def _count_flow_findings(self, definition: ProcDef) -> int:
+        from repro.check.flowcheck import FlowChecker
+
+        return len(
+            FlowChecker(
+                commands=self._commands,
+                signatures=self._signatures,
+                globals_names=self._globals,
+                procedures=self._context,
+            ).check_proc(definition)
+        )
+
+    def _environment(self) -> dict[str, Any]:
+        return dict(
+            commands=self._commands,
+            signatures=self._signatures,
+            globals_names=self._globals,
+            procedures=self._context,
+        )
+
+    def _region_calls(
+        self, definition: ProcDef, summaries: Mapping[str, ProcSummary]
+    ) -> tuple[tuple[str, int | None, int, int], ...]:
+        """Call sites to known procs inside certified program-level regions."""
+        checker = _ProgramFuseChecker(summaries, **self._environment())
+        plan, _ = checker.analyze_with_report(definition)
+        spans = [
+            (region.start_line, region.end_line)
+            for region in plan.regions
+            if region.certified
+        ]
+        if not spans:
+            return ()
+        out: list[tuple[str, int | None, int, int]] = []
+        for site in collect_call_sites(definition):
+            if site.callee not in summaries and site.callee not in self._context:
+                continue
+            if site.callee in self._commands:
+                continue
+            for start, end in spans:
+                if site.line is not None and start <= site.line <= end:
+                    out.append((site.callee, site.line, start, end))
+                    break
+        return tuple(out)
+
+    # -- diagnostics -----------------------------------------------------
+    def _check_unresolved(
+        self,
+        definition: ProcDef,
+        entry: _Entry,
+        report: DiagnosticReport,
+        source: str,
+    ) -> None:
+        locals_: set[str] = {p.ident for p in definition.params}
+        _collect_locals(definition.body, locals_)
+        for site in collect_call_sites(definition):
+            func = site.callee
+            if (
+                func == "new"
+                or func in self._commands
+                or func in self._context
+                or func in locals_
+                or func in self._globals
+            ):
+                continue
+            report.add(
+                "CALL001",
+                f"PROC {definition.name}: call target {func!r} is undefined "
+                f"at registration — no command, procedure, local, or catalog "
+                f"name resolves it",
+                Severity.ERROR,
+                source=source,
+                line=site.line,
+            )
+
+    def _check_recursion(
+        self, name: str, report: DiagnosticReport, source: str
+    ) -> None:
+        graph = CallGraph(
+            {
+                n: e.definition
+                for n, e in self._cache.entries.items()
+            }
+        )
+        for component in graph.recursive_sccs():
+            if name not in component:
+                continue
+            unconditional: tuple[str, int | None] | None = None
+            cancellable = False
+            for member in component:
+                summary = self._cache.entries[member].summary
+                cancellable = cancellable or summary.has_cancelpoint
+                for site in graph.call_sites(member):
+                    if site.callee in component and not site.conditional:
+                        if unconditional is None:
+                            unconditional = (member, site.line)
+            cycle = " -> ".join(component + (component[0],))
+            if unconditional is not None:
+                member, line = unconditional
+                report.add(
+                    "CALL002",
+                    f"unbounded recursion: cycle {cycle} recurses "
+                    f"unconditionally in PROC {member} — the interpreter "
+                    f"will raise MilRecursionError at depth "
+                    f"{MIL_RECURSION_LIMIT}",
+                    Severity.ERROR,
+                    source=source,
+                    line=line,
+                )
+            elif not cancellable:
+                site_line = next(
+                    (
+                        s.line
+                        for member in component
+                        for s in graph.call_sites(member)
+                        if s.callee in component
+                    ),
+                    None,
+                )
+                report.add(
+                    "CALL002",
+                    f"recursion without cancelpoint: cycle {cycle} carries "
+                    f"no reachable cancelpoint(), so a cancelled request "
+                    f"rides it until the depth guard "
+                    f"({MIL_RECURSION_LIMIT}) fires",
+                    Severity.WARNING,
+                    source=source,
+                    line=site_line,
+                )
+
+    def _check_parallel_races(
+        self,
+        definition: ProcDef,
+        entry: _Entry,
+        report: DiagnosticReport,
+        source: str,
+    ) -> None:
+        """CALL004: callee effects surfaced into PARALLEL branch ownership."""
+        fuse = FuseChecker(**self._environment())
+        for block in _parallel_blocks(definition.body):
+            branches = block.body
+            intra = [fuse._branch_summary(branch) for branch in branches]
+            sites = [
+                s
+                for s in collect_call_sites(definition)
+                if s.branch is not None
+            ]
+            # names each branch mutates non-append *via a callee*
+            callee_mutations: list[dict[str, str]] = [
+                {} for _ in branches
+            ]
+            for site in sites:
+                summary = self.summary(site.callee)
+                if summary is None:
+                    continue
+                if site.branch is None or site.branch >= len(branches):
+                    continue
+                for index in summary.param_writes:
+                    if index < len(site.arg_names) and site.arg_names[index]:
+                        callee_mutations[site.branch][
+                            site.arg_names[index]
+                        ] = site.callee
+                for ident in summary.global_writes:
+                    callee_mutations[site.branch][ident] = site.callee
+            for branch_index, mutations in enumerate(callee_mutations):
+                if not mutations:
+                    continue
+                others_touched: set[str] = set()
+                for other_index, (touched, _, assigned) in enumerate(intra):
+                    if other_index != branch_index:
+                        others_touched |= touched | assigned
+                for other_index, other in enumerate(callee_mutations):
+                    if other_index != branch_index:
+                        others_touched |= set(other)
+                for ident in sorted(set(mutations) & others_touched):
+                    report.add(
+                        "CALL004",
+                        f"PROC {definition.name}: callee "
+                        f"{mutations[ident]!r} writes BAT {ident!r} inside "
+                        f"PARALLEL branch {branch_index + 1} while another "
+                        f"branch touches it — an interprocedural race the "
+                        f"per-branch ownership analysis cannot see",
+                        Severity.ERROR,
+                        source=source,
+                        line=block.line,
+                    )
+
+    def _check_stale_certificates(
+        self,
+        name: str,
+        summary: ProcSummary,
+        report: DiagnosticReport,
+        source: str,
+    ) -> None:
+        """CALL003: a redefinition that now commits breaks caller regions."""
+        if not summary.commits:
+            return
+        for caller in self._cache.callers_of(name):
+            entry = self._cache.entries[caller]
+            for callee, line, start, end in entry.region_calls:
+                if callee != name:
+                    continue
+                report.add(
+                    "CALL003",
+                    f"callee {name!r} now commits a WAL transaction inside "
+                    f"PROC {caller}'s certified fusion region (lines "
+                    f"{start}-{end}) — the redefinition invalidates the "
+                    f"region's certificate",
+                    Severity.ERROR,
+                    source=source,
+                    line=line,
+                )
+
+    def _recompute_callers(self, name: str) -> None:
+        """Refresh transitive callers' summaries after a redefinition."""
+        seen: set[str] = set()
+        frontier = self._cache.callers_of(name)
+        while frontier:
+            caller = frontier.pop()
+            if caller in seen or caller not in self._cache.entries:
+                continue
+            seen.add(caller)
+            definition = self._cache.entries[caller].definition
+            self._cache.invalidate(caller)
+            entry = self._compute_entry(
+                caller, definition, fingerprint(definition)
+            )
+            self._cache.store(caller, entry)
+            frontier.extend(self._cache.callers_of(caller))
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _collect_locals(body: list[Any], out: set[str]) -> None:
+    for statement in body:
+        match statement:
+            case VarDecl(ident=ident):
+                out.add(ident)
+            case If(then=then, orelse=orelse):
+                _collect_locals(then, out)
+                _collect_locals(orelse, out)
+            case While(body=inner) | Parallel(body=inner):
+                _collect_locals(inner, out)
+            case _:
+                pass
+
+
+def _method_mutations(body: list[Any]) -> list[tuple[str, str]]:
+    """(target name, method) pairs for append/write method calls."""
+    out: list[tuple[str, str]] = []
+
+    def walk_expr(node: Any) -> None:
+        match node:
+            case MethodCall(target=target, method=method, args=args):
+                walk_expr(target)
+                for arg in args:
+                    walk_expr(arg)
+                if isinstance(target, Name) and (
+                    method in APPEND_METHODS or method in WRITE_METHODS
+                ):
+                    out.append((target.ident, method))
+            case Call(args=args):
+                for arg in args:
+                    walk_expr(arg)
+            case _:
+                pass
+
+    def walk_stmt(statement: Any) -> None:
+        match statement:
+            case VarDecl(value=value) | Assign(value=value):
+                if value is not None:
+                    walk_expr(value)
+            case ExprStmt(expr=expr) | Return(expr=expr):
+                if expr is not None:
+                    walk_expr(expr)
+            case If(then=then, orelse=orelse):
+                for sub in then + orelse:
+                    walk_stmt(sub)
+            case While(body=inner) | Parallel(body=inner):
+                for sub in inner:
+                    walk_stmt(sub)
+            case _:
+                pass
+
+    for statement in body:
+        walk_stmt(statement)
+    return out
+
+
+def _parallel_blocks(body: list[Any]) -> list[Parallel]:
+    out: list[Parallel] = []
+    for statement in body:
+        match statement:
+            case Parallel():
+                out.append(statement)
+                out.extend(_parallel_blocks(statement.body))
+            case If(then=then, orelse=orelse):
+                out.extend(_parallel_blocks(then))
+                out.extend(_parallel_blocks(orelse))
+            case While(body=inner):
+                out.extend(_parallel_blocks(inner))
+            case _:
+                pass
+    return out
+
+
+def check_program_source(
+    source: str,
+    name: str = "<mil>",
+    commands: Mapping[str, Any] | Iterable[str] | None = None,
+    signatures: Mapping[str, Any] | None = None,
+    globals_names: Iterable[str] = (),
+    procedures: Mapping[str, Any] | None = None,
+    cache: SummaryCache | None = None,
+) -> DiagnosticReport:
+    """Parse MIL source and run the whole-program pass over its PROCs."""
+    return ProgramChecker(
+        commands, signatures, globals_names, procedures, cache=cache
+    ).check_source(source, name=name)
+
+
+# `replace` and `field` are re-exported building blocks for summary tweaks
+# in tests; keep linters from flagging the dataclass imports as unused.
+_ = (replace, field)

@@ -281,6 +281,23 @@ class MilNameError(MilError, PermanentError):
     """Reference to an unknown MIL variable, procedure, or command."""
 
 
+class MilRecursionError(MilError, PermanentError):
+    """PROC call nesting exceeded the interpreter's depth limit.
+
+    Raised by :meth:`repro.monet.mil.MilInterpreter._call_proc` instead of
+    letting recursive MIL blow the Python stack. The limit is
+    :data:`repro.monet.mil.MIL_RECURSION_LIMIT` — the same bound the CALL002
+    whole-program diagnostic cites when it flags statically-unbounded
+    recursion at registration time. Carries the ``proc`` whose call tipped
+    over and the ``depth`` reached.
+    """
+
+    def __init__(self, message: str, proc: str | None = None, depth: int | None = None):
+        self.proc = proc
+        self.depth = depth
+        super().__init__(message)
+
+
 class MilTypeError(MilError, PermanentError):
     """A MIL operation was applied to operands of the wrong type."""
 

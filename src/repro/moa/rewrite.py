@@ -30,7 +30,7 @@ from repro.monet.bat import BAT
 from repro.monet.kernel import MonetKernel
 from repro.monet.module import MonetModule, command
 
-__all__ = ["BulkModule", "MoaCompiler", "MilPlan"]
+__all__ = ["BulkModule", "MoaCompiler", "MilPlan", "builtin_moa_plans"]
 
 _OPS_CMP = {"=", "!=", "<", "<=", ">", ">="}
 _OPS_ARITH = {"+", "-", "*", "/"}
@@ -150,6 +150,10 @@ class MilPlan:
     #: Cost-model estimate of the source Moa expression, in abstract work
     #: units (``None`` when checking is off).
     estimated_cost: float | None = None
+    #: :class:`repro.check.equivcheck.EquivalenceCertificate` proving the
+    #: emitted MIL denotes the source expression (``None`` when checking is
+    #: off or the construct fell outside the abstract semantics, EQ003).
+    equivalence: Any = None
 
 
 class MoaCompiler:
@@ -203,9 +207,7 @@ class MoaCompiler:
                 ) if lv == var:
                     src = emit(source)
                     tmp = _fresh(temp_counter)
-                    body_lines.append(
-                        f"VAR {tmp} := mselect({src}, {_quote(op)}, {_literal(value)});"
-                    )
+                    body_lines.append(self._emit_select(tmp, src, op, value))
                     return tmp
                 case Map(
                     var=var,
@@ -248,6 +250,7 @@ class MoaCompiler:
             f"  RETURN {result_var};\n"
             f"}}\n"
         )
+        equivalence = self._validate(expr, source, proc_name, inputs)
         self._kernel.run(source)
         fusion_plan = getattr(
             self._kernel.interpreter.procedures.get(proc_name), "fusion_plan", None
@@ -258,8 +261,36 @@ class MoaCompiler:
 
             estimated_cost = estimate_moa_cost(expr)
         return MilPlan(
-            proc_name, source, tuple(inputs), fusion_plan, estimated_cost
+            proc_name,
+            source,
+            tuple(inputs),
+            fusion_plan,
+            estimated_cost,
+            equivalence,
         )
+
+    def _emit_select(self, tmp: str, src: str, op: str, value: Any) -> str:
+        """Emit one ``mselect`` step. Overridable so translation-validation
+        tests can deliberately mis-emit and watch EQ002 catch it."""
+        return f"VAR {tmp} := mselect({src}, {_quote(op)}, {_literal(value)});"
+
+    def _validate(
+        self, expr: Expr, source: str, proc_name: str, inputs: list[str]
+    ) -> Any:
+        """Translation validation (EQ001/EQ002/EQ003); runs before the plan
+        is registered, so a non-equivalent plan never reaches the kernel."""
+        if self._check == "off":
+            return None
+        from repro.check.equivcheck import validate_translation
+        from repro.errors import MoaCheckError
+
+        certificate, report = validate_translation(
+            expr, source, proc_name, inputs, source="<moa-plan>"
+        )
+        self.diagnostics.extend(report)
+        if self._check in ("error", "sanitize"):
+            report.raise_if_errors("Moa plan translation", MoaCheckError)
+        return certificate
 
     def _precheck(self, expr: Expr) -> None:
         if self._check == "off":
@@ -308,3 +339,43 @@ def _literal(value: Any) -> str:
     if isinstance(value, str):
         return _quote(value)
     return repr(float(value)) if isinstance(value, float) else repr(value)
+
+
+def builtin_moa_plans() -> dict[str, Expr]:
+    """The repository's built-in Moa plans, by name.
+
+    Every plan here must compile to an EQ001-certified MIL procedure —
+    ``python -m repro.check`` (pass 8) and the equivcheck test suite
+    enforce it. ``excitementGate`` is the Fig. 4 ``parallelHmm`` path: the
+    selection over the excitement feature BAT whose survivors are
+    quantized into the observation sequence fed to the parallel HMM
+    evaluation PROC.
+    """
+    return {
+        # Fig. 4 path: gate the excitement feature before quantize -> hmmP
+        "excitementGate": Select(
+            "e", Cmp(">", Var("e"), Const(0.6)), Var("excitement")
+        ),
+        # normalized speed delta used by the overtaking detector
+        "speedDelta": Map(
+            "s", Arith("-", Var("s"), Const(0.5)), Var("speed")
+        ),
+        # mean excitement over a segment (highlight ranking)
+        "avgExcitement": Aggregate("avg", Var("excitement")),
+        # segments interesting on either axis: loud crowd or hard braking
+        "interestingSegments": SetOp(
+            "union",
+            Select("e", Cmp(">=", Var("e"), Const(0.8)), Var("excitement")),
+            Select("b", Cmp("<", Var("b"), Const(0.2)), Var("brake")),
+        ),
+        # stacked gate: two commuting selections then a rescale
+        "replayCandidates": Map(
+            "x",
+            Arith("*", Var("x"), Const(100.0)),
+            Select(
+                "e",
+                Cmp("<=", Var("e"), Const(0.95)),
+                Select("e", Cmp(">", Var("e"), Const(0.6)), Var("excitement")),
+            ),
+        ),
+    }

@@ -23,12 +23,27 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 import re
+import threading
 from typing import Any, Callable, Sequence
 
-from repro.errors import MilNameError, MilSyntaxError, MilTypeError
+from repro.errors import MilNameError, MilRecursionError, MilSyntaxError, MilTypeError
 from repro.monet.bat import BAT
 
-__all__ = ["MilInterpreter", "MilProcedure", "parse", "tokenize"]
+__all__ = [
+    "MIL_RECURSION_LIMIT",
+    "MilInterpreter",
+    "MilProcedure",
+    "parse",
+    "tokenize",
+]
+
+#: Maximum PROC call nesting depth. Deep enough for any legitimate plan
+#: (the shipped procedures nest two levels at most), shallow enough that a
+#: runaway recursion raises a typed :class:`repro.errors.MilRecursionError`
+#: long before the Python stack would overflow. The whole-program CALL002
+#: diagnostic (:mod:`repro.check.programcheck`) cites this same bound when
+#: it flags statically-unbounded recursion at registration time.
+MIL_RECURSION_LIMIT = 64
 
 
 # ---------------------------------------------------------------------------
@@ -542,6 +557,14 @@ class MilInterpreter:
         self._pending_procs: dict[str, ProcDef] = {}
         #: Every diagnostic collected by define_proc, in order.
         self.diagnostics: list[Any] = []
+        #: Per-thread PROC call depth (PARALLEL branches recurse on pool
+        #: threads, so one shared counter would overcount).
+        self._depth = threading.local()
+        #: Whole-program summary cache shared across define_proc calls:
+        #: per-PROC effect/cost/cancellation summaries keyed by source
+        #: fingerprint, so redefining one proc re-analyzes only it and its
+        #: callers (see :class:`repro.check.programcheck.SummaryCache`).
+        self.program_cache: Any = None
 
     @property
     def procedures(self) -> dict[str, MilProcedure]:
@@ -596,6 +619,7 @@ class MilInterpreter:
             from repro.check.flowcheck import FlowChecker
             from repro.check.fusecheck import FuseChecker
             from repro.check.milcheck import MilChecker
+            from repro.check.programcheck import ProgramChecker, SummaryCache
             from repro.check.racecheck import RaceChecker
             from repro.errors import MilCheckError
 
@@ -621,6 +645,17 @@ class MilInterpreter:
                 **environment
             ).analyze_with_report(definition, source=source)
             report.extend(fuse_report)
+            # pass 6: whole-program call-graph analysis. Summaries are
+            # memoized on the interpreter's cache keyed by source
+            # fingerprint, so unchanged procs are not re-analyzed on
+            # every registration.
+            if self.program_cache is None:
+                self.program_cache = SummaryCache()
+            report.extend(
+                ProgramChecker(
+                    **environment, cache=self.program_cache
+                ).on_define(definition, source=source)
+            )
             self.diagnostics.extend(report)
             if mode in ("error", "sanitize"):
                 report.raise_if_errors(
@@ -723,6 +758,16 @@ class MilInterpreter:
                     f"expects a BAT, got {type(value).__name__}"
                 )
             scope.declare(param.ident, value)
+        depth = getattr(self._depth, "value", 0) + 1
+        if depth > MIL_RECURSION_LIMIT:
+            raise MilRecursionError(
+                f"PROC call depth exceeded MIL_RECURSION_LIMIT "
+                f"({MIL_RECURSION_LIMIT}) entering {definition.name!r} — "
+                f"unbounded recursion (see CALL002)",
+                proc=definition.name,
+                depth=depth,
+            )
+        self._depth.value = depth
         enclosing_proc = self._current_proc
         self._current_proc = definition.name
         try:
@@ -731,6 +776,7 @@ class MilInterpreter:
             return signal.value
         finally:
             self._current_proc = enclosing_proc
+            self._depth.value = depth - 1
         return None
 
     # -- expression evaluation ----------------------------------------------

@@ -327,11 +327,25 @@ class QueryService:
 
         Beyond the kernel's own static checks, service registration runs
         the SVC001 pass: an unbounded ``WHILE`` with no ``cancelpoint()``
-        is rejected, because a service lane cannot preempt it.
+        is rejected, because a service lane cannot preempt it. The
+        whole-program pass runs alongside it: long-lived service procs are
+        exactly where cross-proc holes accumulate, so unresolved call
+        targets (CALL001), uncancellable recursion (CALL002), and the
+        other ``CALLnnn`` violations are rejected here too.
         """
+        from repro.check.programcheck import ProgramChecker
         from repro.check.servicecheck import check_service_source
 
         report = check_service_source(mil_source, name="<service proc>")
+        interpreter = self._db.kernel.interpreter
+        report.extend(
+            ProgramChecker(
+                commands=interpreter._commands,
+                signatures=interpreter._signatures,
+                globals_names=list(interpreter._globals.variables),
+                procedures=dict(interpreter._procs),
+            ).check_source(mil_source, name="<service proc>")
+        )
         if report.has_errors():
             raise MilCheckError(
                 "PROC rejected for service execution", report.sorted()

@@ -832,14 +832,32 @@ class ShardedKernel:
 
         Runs the SHARD004 pass first: certified fusion regions inside
         ``PARALLEL`` branches are de-certified by scattering, and the
-        finding (advisory) lands on :attr:`diagnostics`.
+        finding (advisory) lands on :attr:`diagnostics`. The whole-program
+        pass follows — ``scatter_call`` targets are cross-proc paths by
+        construction, so unresolved targets and uncancellable recursion
+        (``CALLnnn``) must be rejected before the source fans out to every
+        shard.
         """
+        from repro.check.programcheck import ProgramChecker
         from repro.check.shardcheck import check_scatter_source
 
         with self._lock:
             mode = CheckMode.of(self.config.check)
             if mode.checks:
                 report = check_scatter_source(mil_source, name="<scatter>")
+                live = self.live_shards()
+                if live:
+                    interpreter = self._shards[live[0]].kernel.interpreter
+                    report.extend(
+                        ProgramChecker(
+                            commands=interpreter._commands,
+                            signatures=interpreter._signatures,
+                            globals_names=list(
+                                interpreter._globals.variables
+                            ),
+                            procedures=dict(interpreter._procs),
+                        ).check_source(mil_source, name="<scatter>")
+                    )
                 self.diagnostics.extend(report.sorted())
                 if mode.raises:
                     report.raise_if_errors(
