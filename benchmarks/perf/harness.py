@@ -17,6 +17,13 @@ fused compiler would accelerate —
 * ``sharded_scatter_gather`` — COQL gathers across a three-shard
   consistent-hash fleet, mixing fan-out scatters (every shard answers,
   results merged with a coverage report) with shard-local routed queries;
+* ``migration_throughput`` — a third shard joins a live two-shard fleet
+  and the remapped documents run the full five-phase online migration
+  (plan → copy → catch-up → fenced cutover → verified retire); rows/s is
+  event rows physically moved, journaling and verification included;
+* ``query_latency_during_split`` — the same gather mix with a migration
+  held open in its copy phase, so every query pays the in-flight
+  ownership merge and dual-read coverage accounting;
 * ``check_whole_program`` — cold + memoized whole-program analysis
   (call-graph summaries, SCC propagation, program-level regions) over a
   layered synthetic call graph, the overhead every registration pays;
@@ -268,6 +275,100 @@ def bench_sharded_scatter_gather(rows: int, repeats: int) -> dict:
         return summary
 
 
+def _split_corpus(base: Path, n_documents: int, events_per_doc: int):
+    from repro.cobra.model import RawVideo, VideoDocument, VideoObject
+    from repro.sharding import ShardConfig, ShardedKernel
+    from repro.synth.annotations import Interval
+
+    fleet = ShardedKernel(base, shards=2, config=ShardConfig(fsync=False))
+    for index in range(n_documents):
+        video_id = f"bench{index}"
+        doc = VideoDocument(
+            raw=RawVideo(
+                video_id,
+                "synthetic://bench",
+                float(events_per_doc + 2),
+                10.0,
+                192,
+                144,
+                16000,
+            )
+        )
+        doc.add_object(VideoObject(f"{video_id}/d1", "driver", "DRIVER"))
+        for step in range(events_per_doc):
+            doc.new_event(
+                "fly_out",
+                Interval(step, step + 1),
+                0.9,
+                {"driver": f"{video_id}/d1"},
+                "dbn",
+            )
+        fleet.register_document(doc, "bench")
+    return fleet
+
+
+def bench_migration_throughput(rows: int, repeats: int) -> dict:
+    """Online split cost: a third shard joins a live two-shard fleet and
+    the remapped documents run the full five-phase migration protocol
+    (plan, bulk copy, catch-up, fenced cutover, verified retire).
+
+    The corpus build is per-repeat setup and untimed; only
+    ``fleet.split`` is measured. The rows figure is the event rows the
+    split physically moved, so rows/s is migration copy throughput
+    including journaling and the byte-for-byte retire verification.
+    """
+    import tempfile
+
+    n_documents = 10
+    events_per_doc = max(1, rows // 100)
+    durations = []
+    moved_rows = 0
+    for _ in range(repeats):
+        with tempfile.TemporaryDirectory(prefix="repro-bench-mig-") as scratch:
+            fleet = _split_corpus(Path(scratch), n_documents, events_per_doc)
+            start = time.perf_counter()
+            report = fleet.split("shard-2")
+            durations.append(time.perf_counter() - start)
+            moved_rows = len(report.moves) * events_per_doc
+            fleet.close()
+    return _summary(durations, moved_rows)
+
+
+def bench_query_latency_during_split(rows: int, repeats: int) -> dict:
+    """Gather latency while a migration is held open in its copy phase:
+    every query pays the in-flight-ownership merge (the dual-read
+    bookkeeping and the migrating/dual_read coverage accounting) on top
+    of the plain scatter-gather cost of ``sharded_scatter_gather``.
+    """
+    import tempfile
+
+    n_documents = 10
+    queries_per_repeat = 10
+    events_per_doc = max(1, rows // 100)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-split-") as scratch:
+        fleet = _split_corpus(Path(scratch), n_documents, events_per_doc)
+        remapped = fleet.add_shard("shard-2")
+        pilot = remapped[0]
+        fleet.migrations.plan(pilot)
+        fleet.migrations.copy(pilot)  # held open: reads stay dual-routed
+
+        def gather() -> None:
+            for index in range(queries_per_repeat):
+                if index % 2 == 0:
+                    fleet.query("RETRIEVE fly_out")
+                else:
+                    fleet.query(
+                        f"RETRIEVE fly_out FROM bench{index % n_documents}"
+                    )
+
+        summary = _summary(
+            _time(gather, repeats), rows * queries_per_repeat
+        )
+        fleet.migrations.resume(pilot)  # finish cleanly
+        fleet.close()
+        return summary
+
+
 def bench_check_whole_program(rows: int, repeats: int) -> dict:
     """Whole-program analysis cost over a synthetic call-graph of PROCs.
 
@@ -339,6 +440,8 @@ BENCHMARKS = {
     "end_to_end_query": bench_end_to_end_query,
     "replicated_read_fanout": bench_replicated_read_fanout,
     "sharded_scatter_gather": bench_sharded_scatter_gather,
+    "migration_throughput": bench_migration_throughput,
+    "query_latency_during_split": bench_query_latency_during_split,
     "check_whole_program": bench_check_whole_program,
     "equivcheck_certify": bench_equivcheck_certify,
 }

@@ -14,7 +14,7 @@ from repro.cobra.catalog import DomainKnowledge, ExtractionMethod
 from repro.cobra.model import RawVideo, VideoDocument
 from repro.cobra.vdbms import CobraVDBMS
 from repro.errors import MilCheckError, OverloadError
-from repro.faults import FaultInjector, get_plan
+from repro.faults import FaultInjector, FaultPlan, FaultSpec, get_plan
 from repro.service import Priority, QueryService, ServiceConfig
 from repro.sharding import ShardConfig, ShardedKernel
 from repro.synth.annotations import Interval
@@ -125,4 +125,47 @@ with tempfile.TemporaryDirectory() as scratch:
     for note in result.degradations():
         print(f"  {note}")
     fleet_service.shutdown()
+    fleet.close()
+
+# 7. Dual reads during an online split. While a document is migrating
+#    to a newly added shard (fleet.split / fleet.migrations), its rows
+#    exist on both the source and the half-built destination; if a
+#    gather loses the current owner it answers through the *other* side
+#    instead of dropping the document, and the coverage report says so:
+#    `migrating` counts in-flight documents, `dual_read` counts answers
+#    served off-owner. A mid-split answer is still one row per document
+#    — the ownership merge never duplicates — but check those counters
+#    (they ride the ServiceReport record's coverage payload too) before
+#    treating a mid-split gather as a steady-state one.
+print("Online split with a dual read ...")
+with tempfile.TemporaryDirectory() as scratch:
+    fleet = ShardedKernel(
+        scratch, shards=2, config=ShardConfig(min_coverage=0.25, fsync=False),
+        faults=FaultInjector(
+            FaultPlan(
+                seed=7,
+                name="cut-the-source",
+                specs=(
+                    FaultSpec(
+                        site="sharding.transport:shard-1",
+                        kind="partition",
+                        max_triggers=1,
+                    ),
+                ),
+            )
+        ),
+    )
+    docs = {}
+    for index in range(6):
+        docs[f"race{index}"] = make_document(f"race{index}")
+        fleet.register_document(docs[f"race{index}"], "f1")
+    remapped = fleet.add_shard("shard-2")   # ring extends; minimal remap
+    pilot = remapped[0]
+    fleet.migrations.plan(pilot)
+    fleet.migrations.copy(pilot)            # rows now on both sides
+    mid = fleet.query("RETRIEVE highlight") # source partitioned: dual read
+    print(f"  {mid.coverage.describe()}")
+    fleet.split("shard-2")                  # idempotent: finishes the moves
+    done = fleet.query("RETRIEVE highlight")
+    print(f"  after the split: {done.coverage.describe()}")
     fleet.close()

@@ -32,6 +32,18 @@ Diagnostics:
   lock domain, so the fused pipelines must be de-certified (and the fused
   compiler falls back to the interpreter) on the sharded path. Advisory
   like PERF/FUSE: it informs plan placement, it never fails ``--strict``.
+* ``SHARD005`` (error) — online migration with coverage accounting
+  disabled. During a split a document's rows live on two shards and the
+  gather may answer it through a dual read; with
+  ``migration_accounting=False`` the ``migrating``/``dual_read`` counters
+  stay zero, so a degraded mid-migration answer is indistinguishable from
+  a healthy one — the honest-degradation contract breaks silently.
+* ``SHARD006`` (error) — migration cutover without epoch fencing. A
+  write intent issued before a cutover names the old owner; with
+  ``migration_fencing=False`` the stale source shard accepts the write
+  after the ring advances, landing rows the ownership-filtered gather
+  will never read — the single-shard twin of the split-brain SHARD003
+  rejects.
 """
 
 from __future__ import annotations
@@ -78,6 +90,30 @@ def check_fleet_config(
             "override per query) so degraded answers are a contract, not "
             "an accident",
             Severity.WARNING,
+            source=_SOURCE,
+        )
+
+    if not config.migration_accounting:
+        report.add(
+            "SHARD005",
+            "online migration without coverage accounting: the "
+            "migrating/dual_read counters on ShardCoverageReport stay "
+            "zero, so a gather answered through a mid-split dual read "
+            "looks identical to a healthy one — degradation must stay "
+            "visible to stay honest",
+            Severity.ERROR,
+            source=_SOURCE,
+        )
+
+    if not config.migration_fencing:
+        report.add(
+            "SHARD006",
+            "migration cutover is not epoch-fenced: a write intent issued "
+            "before a cutover would be honored by the stale source shard "
+            "after the ring advances, landing rows the ownership-filtered "
+            "gather never reads (silent lost update; the single-shard "
+            "twin of SHARD003's split-brain)",
+            Severity.ERROR,
             source=_SOURCE,
         )
 

@@ -263,6 +263,40 @@ class InsufficientCoverageError(ShardingError, TransientError):
         )
 
 
+class ShardConfigError(ShardingError, ValueError):
+    """A fleet configuration value is outside its legal domain.
+
+    Raised at :class:`repro.sharding.ShardedKernel` construction (and for
+    per-call overrides) when a coverage floor falls outside [0, 1] or a
+    catch-up lag floor is negative — a typed :class:`ValueError` so the
+    misconfiguration fails where it was written, not silently at gather
+    time where an impossible floor would reject (or wave through) every
+    answer.
+    """
+
+
+class MigrationError(ShardingError):
+    """Error in the online shard split/migration subsystem."""
+
+
+class MigrationLagError(MigrationError, TransientError):
+    """Cutover refused: the destination lags the source beyond the floor.
+
+    Transient by design — another catch-up round ships more of the
+    source's WAL tail for the moving document, so a retry after
+    ``catch_up`` may well succeed. Carries the observed ``lag`` (pending
+    tail records), the configured ``floor``, and the moving ``video`` id.
+    """
+
+    def __init__(self, message: str, lag: int, floor: int, video: str = ""):
+        self.lag = lag
+        self.floor = floor
+        self.video = video
+        super().__init__(
+            f"{message} (lag {lag} record(s), floor {floor})"
+        )
+
+
 class MilError(MonetError):
     """Base error for the MIL interpreter."""
 

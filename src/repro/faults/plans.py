@@ -47,6 +47,10 @@ SITE_FAMILIES: dict[str, str] = {
     "kill -> shard crash mid-scatter, fail/delay)",
     "sharding.place:prepared|registered": "two-phase document placement "
     "crash points (kill between journal prepare and commit)",
+    "sharding.migrate:<video>": "per-document migration copy/catch-up "
+    "fault sites (kill before the bulk copy, fail/delay)",
+    "migration:planned|copied|cutover|retired": "migration protocol "
+    "crash points, one after each phase's journal record (kill)",
 }
 
 #: Environment variable naming the plan behind :func:`global_injector`.

@@ -10,6 +10,7 @@ of the same scenario produce *equal* reports; wall-clock measurements
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -37,11 +38,28 @@ class RequestRecord:
     status: str  # see TERMINAL_STATUSES, plus transient "queued"/"running"
     detail: str = ""  # rejection reason, shed reason, or error type
     clone_of: int | None = None  # seq of the original for burst clones
+    #: For queries answered by a sharded fleet: the gather's
+    #: :meth:`repro.sharding.ShardCoverageReport.to_dict` payload — how
+    #: degraded (or dual-read, mid-migration) this specific answer was.
+    #: None for non-fleet requests. Deterministic, so part of equality.
+    coverage: Any = None
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         extra = f" ({self.detail})" if self.detail else ""
         clone = f" clone-of=#{self.clone_of}" if self.clone_of is not None else ""
         return f"#{self.seq} {self.kind}/{self.priority}@{self.lane}: {self.status}{extra}{clone}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "priority": self.priority,
+            "lane": self.lane,
+            "status": self.status,
+            "detail": self.detail,
+            "clone_of": self.clone_of,
+            "coverage": dict(self.coverage) if self.coverage else None,
+        }
 
 
 @dataclass(frozen=True)
@@ -122,6 +140,34 @@ class ServiceReport:
                 "  " + line for line in self.sharding.describe().splitlines()
             )
         return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form of the deterministic fields.
+
+        Fleet query records carry their per-gather coverage payload
+        (round-trippable through
+        :meth:`repro.sharding.ShardCoverageReport.from_dict`); the
+        attached replication/sharding statuses serialize through their
+        own ``to_dict`` when they have one, ``dataclasses.asdict``
+        otherwise. Wall-clock latencies are excluded, matching equality.
+        """
+        return {
+            "records": [record.to_dict() for record in self.records],
+            "checkpoint_seqno": self.checkpoint_seqno,
+            "replication": _jsonable(self.replication),
+            "sharding": _jsonable(self.sharding),
+        }
+
+
+def _jsonable(status: Any) -> Any:
+    if status is None:
+        return None
+    to_dict = getattr(status, "to_dict", None)
+    if callable(to_dict):
+        return to_dict()
+    if dataclasses.is_dataclass(status):
+        return dataclasses.asdict(status)
+    return repr(status)  # pragma: no cover - no such status type today
 
 
 def percentile(values: tuple[float, ...] | list[float], q: float) -> float:

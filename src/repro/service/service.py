@@ -111,6 +111,7 @@ class Request:
     clone_of: int | None = None
     status: str = "queued"
     detail: str = ""
+    coverage: Any = None  # fleet gathers: ShardCoverageReport.to_dict()
     result: Any = None
     error: BaseException | None = None
     admitted_at: float | None = None
@@ -125,6 +126,7 @@ class Request:
             status=self.status,
             detail=self.detail,
             clone_of=self.clone_of,
+            coverage=self.coverage,
         )
 
 
@@ -431,6 +433,11 @@ class QueryService:
                     f"{len(coverage.targeted)} "
                     f"coverage={coverage.fraction:.3f}"
                 )
+                # the full report rides the record too — JSON-round-trip
+                # material for artifacts (ShardCoverageReport.from_dict),
+                # including the migrating/dual_read counters a mid-split
+                # gather reports
+                request.coverage = coverage.to_dict()
                 return result
             if self._group is not None:
                 # the group's read policy picks the node; a replica read

@@ -14,11 +14,20 @@ scatter-gather execution and degrades honestly: lost shards produce a
 coverage falls below the caller's floor and the gather fails loudly with
 :class:`repro.errors.InsufficientCoverageError`.
 
-``python -m repro.sharding`` runs the seeded shard-death chaos scenario
-(:mod:`repro.sharding.chaos`): shards are killed mid-scatter, the
-degraded answers are checked against exact coverage reports, the fleet
-rebalances, and the surviving catalogs must converge byte-for-byte —
-twice, with identical reports, or the run fails.
+The fleet also grows online: :mod:`repro.sharding.migration` adds a
+shard to a live fleet and moves exactly the documents the extended ring
+remaps through a journaled five-phase protocol (plan → copy → catch-up →
+cutover → retire) that survives a crash at any kill point, keeps reads
+answering through dual routing (the ``migrating``/``dual_read`` counters
+on the coverage report), and fences stale pre-cutover writes with
+:class:`repro.errors.FencedWriteError`.
+
+``python -m repro.sharding`` runs the seeded chaos scenarios
+(:mod:`repro.sharding.chaos`): shards are killed mid-scatter and a split
+runs under load, the degraded answers are checked against exact coverage
+reports, registration and migration are crashed at every kill point, and
+the surviving catalogs must converge byte-for-byte — twice, with
+identical reports, or the run fails.
 """
 
 from repro.sharding.fleet import (
@@ -30,15 +39,27 @@ from repro.sharding.fleet import (
     ShardStatus,
     ShardedKernel,
 )
+from repro.sharding.migration import (
+    MIGRATION_KILL_POINTS,
+    MigrationCoordinator,
+    MigrationState,
+    PlacementLease,
+    SplitReport,
+)
 from repro.sharding.ring import HashRing
 
 __all__ = [
     "FleetStatus",
     "GatherResult",
     "HashRing",
+    "MIGRATION_KILL_POINTS",
+    "MigrationCoordinator",
+    "MigrationState",
+    "PlacementLease",
     "RebalanceReport",
     "ShardConfig",
     "ShardCoverageReport",
     "ShardStatus",
     "ShardedKernel",
+    "SplitReport",
 ]

@@ -30,8 +30,24 @@ written, rows not yet on the shard; ``sharding.place:registered`` — rows
 durable, commit record missing) and verifies recovery rolls the in-doubt
 placement back or forward respectively.
 
+:func:`split_under_load_scenario` exercises the online-split machinery of
+:mod:`repro.sharding.migration`: a third shard joins a live two-shard
+fleet and the remapped documents migrate while queries and writes keep
+arriving. Mid-copy the migrating document's source shard is partitioned
+and the gather must answer the document through a **dual read** against
+the half-built destination copy (``dual_read > 0`` on the coverage
+report, coverage still at or above the floor); a write routed during the
+copy leaves the destination lagging, so cutover is refused with a typed
+:class:`repro.errors.MigrationLagError` until catch-up drains the tail;
+a write intent captured before the cutover must fence
+(:class:`repro.errors.FencedWriteError`) and be retried once against the
+new owner. :func:`migration_kill_sweep` then crashes the split at every
+protocol kill point (:data:`MIGRATION_KILL_SITES`) and verifies recovery
+plus an idempotent re-split land on placements, query answers, and
+convergence byte-identical to a run that never crashed.
+
 Everything is a pure function of the plan seed: the CLI (``python -m
-repro.sharding``) runs the scenario twice and the reports must be
+repro.sharding``) runs the scenarios twice and the reports must be
 byte-identical.
 """
 
@@ -41,8 +57,15 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+import json
+
 from repro.cobra.model import RawVideo, VideoDocument, VideoObject
-from repro.errors import InsufficientCoverageError, SimulatedCrash
+from repro.errors import (
+    FencedWriteError,
+    InsufficientCoverageError,
+    MigrationLagError,
+    SimulatedCrash,
+)
 from repro.faults import FaultInjector, FaultPlan, FaultSpec
 from repro.sharding.fleet import (
     ShardConfig,
@@ -52,17 +75,34 @@ from repro.sharding.fleet import (
 from repro.synth.annotations import Interval
 
 __all__ = [
+    "MIGRATION_KILL_SITES",
     "PLACEMENT_KILL_SITES",
+    "MigrationSweepSummary",
     "PlacementSweepSummary",
     "ShardChaosReport",
+    "SplitChaosReport",
+    "migration_kill_sweep",
     "placement_kill_sweep",
     "shard_death_scenario",
+    "split_under_load_scenario",
 ]
 
 #: The two-phase registration crash points the placement sweep kills at.
 PLACEMENT_KILL_SITES = (
     "sharding.place:prepared",
     "sharding.place:registered",
+)
+
+#: The migration crash points the split sweep kills at: one after each
+#: protocol phase's journal record, plus the per-document copy site of
+#: the first document the sweep's split migrates (``sorted`` order over
+#: the remapped set, so ``race2`` on this corpus).
+MIGRATION_KILL_SITES = (
+    "migration:planned",
+    "migration:copied",
+    "migration:cutover",
+    "migration:retired",
+    "sharding.migrate:race2",
 )
 
 #: The corpus: placement over three shards is a pure function of these
@@ -398,6 +438,395 @@ def placement_kill_sweep(
                 "site": site,
                 "resolution": resolution,
                 "placements": placements,
+                "failures": failures,
+                "ok": not failures,
+            }
+        )
+    return summary
+
+
+# ---------------------------------------------------------------------------
+# online split under load
+# ---------------------------------------------------------------------------
+
+#: The split corpus: on the two-shard ring shard-0 owns race1/race4/
+#: race6/race9 and shard-1 the rest; adding shard-2 remaps race2, race7,
+#: race8 (from shard-1) and race9 (from shard-0).
+_SPLIT_VIDEO_IDS = tuple(f"race{i}" for i in range(10))
+
+#: The document migrated by hand mid-scenario (the first of the remapped
+#: set in sorted order, owned by shard-1).
+_SPLIT_PILOT = "race2"
+
+
+@dataclass
+class SplitChaosReport:
+    """Deterministic outcome of one split-under-load scenario run."""
+
+    seed: int
+    remapped: list[str] = field(default_factory=list)
+    mid_copy_coverage: dict[str, Any] = field(default_factory=dict)
+    dual_read_coverage: dict[str, Any] = field(default_factory=dict)
+    dual_read_records: int = 0
+    lag_refusal: dict[str, int] = field(default_factory=dict)
+    fenced_retries: int = 0
+    moves: list[list[str]] = field(default_factory=list)
+    final_coverage: dict[str, Any] = field(default_factory=dict)
+    routing_epoch: int = 0
+    failures: list[str] = field(default_factory=list)
+    events: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        lines = [
+            f"{status}  split-under-load scenario (seed={self.seed}): "
+            f"{len(self.remapped)} document(s) remapped, dual-read "
+            f"coverage {self.dual_read_coverage.get('fraction', '?')} "
+            f"({self.dual_read_coverage.get('dual_read', '?')} dual "
+            f"read(s)), cutover refused at lag "
+            f"{self.lag_refusal.get('lag', '?')}, "
+            f"{self.fenced_retries} fenced retry(ies), "
+            f"{len(self.moves)} split move(s)"
+        ]
+        lines.extend(f"      {failure}" for failure in self.failures)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "remapped": list(self.remapped),
+            "mid_copy_coverage": dict(self.mid_copy_coverage),
+            "dual_read_coverage": dict(self.dual_read_coverage),
+            "dual_read_records": self.dual_read_records,
+            "lag_refusal": dict(self.lag_refusal),
+            "fenced_retries": self.fenced_retries,
+            "moves": [list(move) for move in self.moves],
+            "final_coverage": dict(self.final_coverage),
+            "routing_epoch": self.routing_epoch,
+            "failures": list(self.failures),
+            "events": list(self.events),
+            "ok": self.ok,
+        }
+
+
+def split_under_load_scenario(
+    base_dir: str | Path,
+    seed: int = 2026,
+    fsync: bool = True,
+) -> SplitChaosReport:
+    """Run the seeded online-split scenario once.
+
+    The pilot document migrates by hand so every mid-flight contract is
+    observable — dual read while its source is partitioned, cutover
+    refused above the lag floor, the stale write intent fenced — then an
+    idempotent :meth:`ShardedKernel.split` finishes the remaining moves.
+    """
+    plan = FaultPlan(
+        seed=seed,
+        name="split-under-load",
+        specs=(
+            # the pilot's *source* shard drops off the network for exactly
+            # one gather — fired by the first query below, mid-copy, so
+            # the pilot must be answered through the destination copy
+            FaultSpec(
+                site="sharding.transport:shard-1",
+                kind="partition",
+                max_triggers=1,
+            ),
+        ),
+    )
+    report = SplitChaosReport(seed=seed)
+    events = report.events
+    failures = report.failures
+
+    fleet = ShardedKernel(
+        base_dir,
+        shards=2,
+        config=ShardConfig(min_coverage=0.25, fsync=fsync),
+        faults=FaultInjector(plan),
+    )
+    documents = {}
+    for video_id in _SPLIT_VIDEO_IDS:
+        documents[video_id] = _document(video_id)
+        fleet.register_document(documents[video_id], "formula1")
+    events.append(f"registered {len(_SPLIT_VIDEO_IDS)} document(s)")
+
+    # ---- the shard joins; the pilot's copy phase opens ----------------
+    remapped = fleet.add_shard("shard-2")
+    report.remapped = list(remapped)
+    events.append(f"shard-2 joined; remapped {remapped}")
+    if remapped != ["race2", "race7", "race8", "race9"]:
+        failures.append(
+            f"ring remap is not the expected minimal set: {remapped}"
+        )
+    migrations = fleet.migrations
+    state = migrations.plan(_SPLIT_PILOT)
+    migrations.copy(_SPLIT_PILOT)
+    events.append(
+        f"pilot {_SPLIT_PILOT!r} copied {state.src} -> {state.dst}; "
+        f"source still owns reads"
+    )
+
+    # ---- dual read: the source is partitioned mid-copy ----------------
+    result = fleet.query("RETRIEVE fly_out")
+    coverage = result.coverage
+    report.dual_read_coverage = coverage.to_dict()
+    report.dual_read_records = len(result.records)
+    events.append(f"gather with the source partitioned: {coverage.describe()}")
+    if coverage.dual_read < 1:
+        failures.append(
+            f"the pilot should have been answered through a dual read, "
+            f"coverage reports {coverage.dual_read}"
+        )
+    if coverage.migrating != 1:
+        failures.append(
+            f"one migration is in flight but coverage reports "
+            f"{coverage.migrating}"
+        )
+    # shard-0's four documents plus the pilot through its destination copy
+    if coverage.documents_covered != 5 or not result.degraded:
+        failures.append(
+            f"expected a degraded 5/10 answer (source shard lost, pilot "
+            f"dual-read), got {coverage.documents_covered}/"
+            f"{coverage.documents_total}"
+        )
+    pilot_rows = [
+        row for row in result.records if row["video_id"] == _SPLIT_PILOT
+    ]
+    if len(pilot_rows) != 1:
+        failures.append(
+            f"the dual read must contribute the pilot exactly once, got "
+            f"{len(pilot_rows)} row(s)"
+        )
+
+    # ---- bounded staleness: a write lands, cutover is refused ---------
+    late_event = documents[_SPLIT_PILOT].new_event(
+        "passing", Interval(30.0, 36.0), 0.8, {}, "dbn"
+    )
+    target = fleet.store_event(_SPLIT_PILOT, late_event)
+    events.append(f"mid-copy write routed to owner {target!r}")
+    if target != state.src:
+        failures.append(
+            f"a pre-cutover write must land on the source, went to "
+            f"{target!r}"
+        )
+    try:
+        migrations.cutover(_SPLIT_PILOT)
+        failures.append("cutover above the lag floor was not refused")
+    except MigrationLagError as exc:
+        report.lag_refusal = {"lag": exc.lag, "floor": exc.floor}
+        events.append(f"cutover refused: {exc}")
+
+    # ---- fenced cutover: a stale intent must not reach the source -----
+    stale_intent = fleet.write_intent(_SPLIT_PILOT)
+    migrations.catch_up(_SPLIT_PILOT)
+    migrations.cutover(_SPLIT_PILOT)
+    events.append("tail drained; ownership cut over; routing epoch bumped")
+    fence_event = documents[_SPLIT_PILOT].new_event(
+        "pit_stop", Interval(50.0, 58.0), 0.7, {}, "dbn"
+    )
+    try:
+        stale_intent.apply(fence_event)
+        failures.append("a pre-cutover write intent was honored afterwards")
+    except FencedWriteError:
+        events.append("stale pre-cutover intent fenced")
+    retry_target = fleet.store_event(_SPLIT_PILOT, fence_event)
+    report.fenced_retries = fleet.migration_fenced_retries
+    if retry_target != state.dst or report.fenced_retries != 0:
+        failures.append(
+            f"a fresh post-cutover write should land on {state.dst!r} "
+            f"without fencing, went to {retry_target!r} after "
+            f"{report.fenced_retries} retry(ies)"
+        )
+    migrations.retire(_SPLIT_PILOT)
+    events.append("pilot retired after byte-for-byte copy verification")
+
+    # ---- the split finishes the remaining moves -----------------------
+    split = fleet.split("shard-2")
+    report.moves = [list(move) for move in split.moves]
+    events.append(f"split completed: {report.moves}")
+    if [move[0] for move in split.moves] != ["race7", "race8", "race9"]:
+        failures.append(
+            f"the idempotent split must migrate exactly the documents "
+            f"the pilot left behind, moved {report.moves}"
+        )
+
+    final = fleet.query("RETRIEVE fly_out")
+    report.final_coverage = final.coverage.to_dict()
+    if not final.coverage.complete or final.coverage.migrating:
+        failures.append(
+            f"post-split gather is not a complete, migration-free "
+            f"answer: {final.coverage.describe()}"
+        )
+    if len(final.records) != len(_SPLIT_VIDEO_IDS):
+        failures.append(
+            f"expected all {len(_SPLIT_VIDEO_IDS)} record(s) after the "
+            f"split, got {len(final.records)}"
+        )
+    report.routing_epoch = fleet._routing_epoch
+    if report.routing_epoch != 5:
+        failures.append(
+            f"four cutovers should leave the routing epoch at 5, got "
+            f"{report.routing_epoch}"
+        )
+
+    failures.extend(fleet.convergence_report())
+    if not failures:
+        events.append("catalogs converged byte-for-byte after the split")
+    fleet.close()
+    return report
+
+
+@dataclass
+class MigrationSweepSummary:
+    """The split crashed at every migration kill point and recovered."""
+
+    results: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(result["ok"] for result in self.results)
+
+    def describe(self) -> str:
+        lines = []
+        for result in self.results:
+            status = "ok" if result["ok"] else "FAIL"
+            lines.append(
+                f"{status}  kill@{result['site']}: {result['resolution']}, "
+                f"{len(result['resumed_moves'])} move(s) left for the "
+                f"re-split"
+            )
+            lines.extend(f"      {f}" for f in result["failures"])
+        good = sum(1 for result in self.results if result["ok"])
+        lines.append(
+            f"migration kill sweep: {good}/{len(self.results)} crash "
+            f"point(s) recovered to the reference state byte-for-byte"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"results": list(self.results), "ok": self.ok}
+
+
+def _split_fleet(
+    scratch: Path, fsync: bool, faults: "FaultInjector | None" = None
+) -> tuple[ShardedKernel, dict[str, VideoDocument]]:
+    fleet = ShardedKernel(
+        scratch,
+        shards=2,
+        config=ShardConfig(fsync=fsync),
+        faults=faults,
+    )
+    documents = {}
+    for video_id in _SPLIT_VIDEO_IDS:
+        documents[video_id] = _document(video_id)
+        fleet.register_document(documents[video_id], "formula1")
+    return fleet, documents
+
+
+def migration_kill_sweep(
+    base_dir: str | Path,
+    seed: int = 2026,
+    fsync: bool = True,
+) -> MigrationSweepSummary:
+    """Crash the split at each migration kill point; recovery plus an
+    idempotent re-split must land byte-for-byte on the reference state.
+
+    The reference run splits the same corpus with no faults; each crash
+    run must recover to identical placements, identical query answers
+    (every document exactly once — nothing lost, nothing duplicated) and
+    an empty convergence report.
+    """
+    base = Path(base_dir)
+    summary = MigrationSweepSummary()
+
+    reference, _ = _split_fleet(base / "reference", fsync)
+    reference.split("shard-2")
+    ref_placements = reference.placements()
+    ref_records = json.dumps(
+        reference.query("RETRIEVE fly_out").records,
+        sort_keys=True,
+        default=repr,  # Interval objects; repr is deterministic
+    )
+    ref_convergence = reference.convergence_report()
+    reference.close()
+    if ref_convergence:
+        summary.results.append(
+            {
+                "site": "<reference>",
+                "resolution": "reference run failed to converge",
+                "resumed_moves": [],
+                "failures": list(ref_convergence),
+                "ok": False,
+            }
+        )
+        return summary
+
+    for site in MIGRATION_KILL_SITES:
+        scratch = base / site.replace(":", "__").replace(".", "_")
+        plan = FaultPlan(
+            seed=seed,
+            name=f"migration-kill@{site}",
+            specs=(FaultSpec(site=site, kind="kill", max_triggers=1),),
+        )
+        failures: list[str] = []
+        fleet, documents = _split_fleet(
+            scratch, fsync, faults=FaultInjector(plan)
+        )
+        crashed = False
+        try:
+            fleet.split("shard-2")
+        except SimulatedCrash:
+            crashed = True
+        if not crashed:
+            failures.append(f"kill at {site} never fired")
+        fleet.close()
+
+        # reopen: recovery sweeps every in-doubt migration forward or
+        # back; the re-split then finishes whatever rolled back
+        recovered = ShardedKernel(
+            scratch, shards=2, config=ShardConfig(fsync=fsync)
+        )
+        in_doubt = recovered.migrations.in_flight()
+        if in_doubt:
+            failures.append(
+                f"recovery left migrations in flight: {in_doubt}"
+            )
+        for video_id, document in documents.items():
+            recovered.register_document(document, "formula1")
+        resumed = recovered.split("shard-2")
+        resolution = (
+            f"recovery rolled the in-doubt work to a verified state; "
+            f"re-split moved {[m[0] for m in resumed.moves]}"
+            if resumed.moves
+            else "recovery rolled every move forward; re-split was a no-op"
+        )
+        if recovered.placements() != ref_placements:
+            failures.append(
+                f"placements diverged from the reference run: "
+                f"{recovered.placements()} != {ref_placements}"
+            )
+        records = json.dumps(
+            recovered.query("RETRIEVE fly_out").records,
+            sort_keys=True,
+            default=repr,
+        )
+        if records != ref_records:
+            failures.append(
+                "query answers diverged from the reference run (lost or "
+                "duplicated document rows)"
+            )
+        failures.extend(recovered.convergence_report())
+        recovered.close()
+        summary.results.append(
+            {
+                "site": site,
+                "resolution": resolution,
+                "resumed_moves": [list(m) for m in resumed.moves],
                 "failures": failures,
                 "ok": not failures,
             }

@@ -58,7 +58,7 @@ from typing import Any, Callable, Iterable, Mapping
 
 from repro.check.diagnostics import CheckMode, Diagnostic
 from repro.cobra.metadata import MetadataStore
-from repro.cobra.model import VideoDocument
+from repro.cobra.model import VideoDocument, VideoEvent
 from repro.cobra.preprocessor import (
     PreprocessReport,
     ScatterPlan,
@@ -77,6 +77,7 @@ from repro.errors import (
     MonetError,
     PlacementError,
     ReplicationError,
+    ShardConfigError,
     ShardingCheckError,
     ShardingError,
     SimulatedCrash,
@@ -86,7 +87,14 @@ from repro.errors import (
 from repro.faults import FaultInjector, FaultPlan, resolve_injector
 from repro.monet.kernel import MonetKernel
 from repro.replication.group import GroupConfig, KernelGroup, Lease
-from repro.resilience import CircuitBreaker, Deadline
+from repro.resilience import CircuitBreaker, Deadline, cancel_checkpoint
+from repro.sharding.migration import (
+    MigrationCoordinator,
+    PlacementLease,
+    SplitReport,
+    event_from_payload,
+    pruned_document,
+)
 from repro.sharding.ring import HashRing
 
 __all__ = [
@@ -101,6 +109,16 @@ __all__ = [
 
 #: The placement journal file under the fleet's base directory.
 JOURNAL_FILE = "placements.log"
+
+
+def _validate_floor(value: float, name: str) -> None:
+    """Coverage floors are fractions of the corpus; anything outside
+    [0, 1] is a typo that would silently reject (or wave through) every
+    gather, so it fails loudly and typed at configuration time."""
+    if not 0.0 <= value <= 1.0:
+        raise ShardConfigError(
+            f"{name} must be a coverage fraction in [0, 1], got {value!r}"
+        )
 
 
 @dataclass(frozen=True)
@@ -133,6 +151,15 @@ class ShardConfig:
     check: str = "error"
     #: fsync discipline for the shard stores and the placement journal.
     fsync: bool = True
+    #: Max pending tail records a migration may carry into cutover
+    #: (bounded staleness); above it cutover raises MigrationLagError.
+    catchup_lag_floor: int = 0
+    #: Count in-flight migrations and dual reads on coverage reports
+    #: (SHARD005 when off: mid-migration degradation turns invisible).
+    migration_accounting: bool = True
+    #: Epoch-fence stale write intents after a cutover (SHARD006 when
+    #: off: a stale source shard accepts writes no gather will read).
+    migration_fencing: bool = True
 
 
 @dataclass(frozen=True)
@@ -156,6 +183,13 @@ class ShardCoverageReport:
     dead: tuple[str, ...]
     documents_total: int
     documents_covered: int
+    #: Documents with a migration in flight at gather time; a split in
+    #: progress is a visible, accounted condition, not a silent one.
+    migrating: int = 0
+    #: Migrating documents answered through their migration counterpart
+    #: (destination before cutover, source after) because the owner was
+    #: lost — the dual-read window made these covered.
+    dual_read: int = 0
 
     @property
     def fraction(self) -> float:
@@ -189,6 +223,11 @@ class ShardCoverageReport:
             parts.append(f"timed out {list(self.timed_out)}")
         if self.dead:
             parts.append(f"dead {list(self.dead)}")
+        if self.migrating:
+            parts.append(
+                f"migrating {self.migrating} "
+                f"(dual-read {self.dual_read})"
+            )
         return "; ".join(parts)
 
     def to_dict(self) -> dict[str, Any]:
@@ -203,7 +242,27 @@ class ShardCoverageReport:
             "documents_total": self.documents_total,
             "documents_covered": self.documents_covered,
             "fraction": round(self.fraction, 6),
+            "migrating": self.migrating,
+            "dual_read": self.dual_read,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ShardCoverageReport":
+        """Rebuild a report from its :meth:`to_dict` form (the JSON
+        round-trip a :class:`repro.service.ServiceReport` carries)."""
+        return cls(
+            plan=payload["plan"],
+            targeted=tuple(payload["targeted"]),
+            answered=tuple(payload["answered"]),
+            hedged=tuple(payload["hedged"]),
+            shed=tuple(payload["shed"]),
+            timed_out=tuple(payload["timed_out"]),
+            dead=tuple(payload["dead"]),
+            documents_total=payload["documents_total"],
+            documents_covered=payload["documents_covered"],
+            migrating=payload.get("migrating", 0),
+            dual_read=payload.get("dual_read", 0),
+        )
 
 
 @dataclass
@@ -240,6 +299,17 @@ class ShardStatus:
     failovers: int
     breaker: str
 
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "dead": self.dead,
+            "documents": self.documents,
+            "replicated": self.replicated,
+            "epoch": self.epoch,
+            "failovers": self.failovers,
+            "breaker": self.breaker,
+        }
+
 
 @dataclass(frozen=True)
 class FleetStatus:
@@ -248,6 +318,10 @@ class FleetStatus:
     shards: tuple[ShardStatus, ...]
     documents: int
     fenced_retries: int
+    #: Documents with a migration in flight (a split in progress).
+    migrating: int = 0
+    #: Writes fenced by a cutover and retried on the new owner.
+    migration_fenced_retries: int = 0
 
     def describe(self) -> str:
         lines = [
@@ -255,6 +329,12 @@ class FleetStatus:
             f"{self.documents} document(s), "
             f"{self.fenced_retries} fenced write retry(ies)"
         ]
+        if self.migrating or self.migration_fenced_retries:
+            lines.append(
+                f"  migrating: {self.migrating} document(s), "
+                f"{self.migration_fenced_retries} cutover-fenced "
+                f"retry(ies)"
+            )
         for status in self.shards:
             flags = []
             if status.dead:
@@ -269,6 +349,15 @@ class FleetStatus:
                 f"breaker {status.breaker}{suffix}"
             )
         return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "shards": [status.to_dict() for status in self.shards],
+            "documents": self.documents,
+            "fenced_retries": self.fenced_retries,
+            "migrating": self.migrating,
+            "migration_fenced_retries": self.migration_fenced_retries,
+        }
 
 
 class _PlacementJournal:
@@ -370,6 +459,13 @@ class ShardedKernel:
             names = list(shards)
         if len(set(names)) != len(names):
             raise ShardingError(f"duplicate shard names in {names}")
+        _validate_floor(self.config.min_coverage, "min_coverage")
+        if self.config.catchup_lag_floor < 0:
+            raise ShardConfigError(
+                f"catchup_lag_floor must be >= 0 pending record(s), got "
+                f"{self.config.catchup_lag_floor} — a negative lag floor "
+                f"would refuse every cutover"
+            )
 
         # static vetting of the configuration (SHARD001-SHARD003)
         from repro.check.shardcheck import check_fleet_config
@@ -401,11 +497,27 @@ class ShardedKernel:
         #: video id -> owning shard (the committed placement map).
         self._placements: dict[str, str] = {}
         #: shard -> video ids in journal (= BAT insertion) order, including
-        #: documents later moved away; the byte-exact rebuild recipe.
+        #: documents later moved away; feeds the gather cost model.
         self._placement_order: dict[str, list[str]] = {n: [] for n in names}
+        #: shard -> insertion ops in journal (= BAT row) order: ``("doc",
+        #: video, event_ids_at_insert)`` for a document landing, ``("event",
+        #: video, payload)`` for a late event append. The byte-exact rebuild
+        #: recipe for :meth:`convergence_report`.
+        self._ops: dict[str, list[tuple[str, str, Any]]] = {
+            n: [] for n in names
+        }
         #: video id -> (document, domain) handles known to this process.
         self._documents: dict[str, tuple[VideoDocument, str]] = {}
         self._fenced_retries = 0
+        #: Advanced by every migration cutover; write intents stamped with
+        #: an older epoch fence instead of landing on a stale owner.
+        self._routing_epoch = 1
+        self._migration_fenced_retries = 0
+        #: MIL sources registered for scatter execution; replayed onto
+        #: shards added later so a grown fleet still answers scatter calls.
+        self._mil_sources: list[str] = []
+        #: The online split/migration subsystem (phases, fencing, recovery).
+        self.migrations = MigrationCoordinator(self)
         self._recover_placements()
 
     def _build_shard(self, name: str) -> _Shard:
@@ -481,6 +593,56 @@ class ShardedKernel:
     def fenced_retries(self) -> int:
         return self._fenced_retries
 
+    @property
+    def migration_fenced_retries(self) -> int:
+        """Writes fenced by a cutover and retried on the new owner."""
+        return self._migration_fenced_retries
+
+    def _admit_shard(self, name: str) -> None:
+        """Materialize one new shard into the live topology: build its
+        kernel (and group), extend the ring, and replay registered
+        scatter MIL so the grown fleet still answers scatter calls."""
+        self._shards[name] = self._build_shard(name)
+        self._shards[name].view()
+        self.ring = self.ring.extended(name)
+        self._placement_order.setdefault(name, [])
+        self._ops.setdefault(name, [])
+        for source in self._mil_sources:
+            self._fenced_apply(
+                self._shards[name], lambda k, s=source: k.run(s)
+            )
+
+    # ------------------------------------------------------------------
+    # online split / migration (see repro.sharding.migration)
+    # ------------------------------------------------------------------
+    def add_shard(self, name: str) -> list[str]:
+        """Durably add one shard to the live fleet; returns the video
+        ids the grown ring remaps onto it."""
+        return self.migrations.add_shard(name)
+
+    def split(self, name: str) -> SplitReport:
+        """Add shard ``name`` (if absent) and live-migrate every
+        remapped document onto it without stopping reads or writes."""
+        return self.migrations.split(name)
+
+    def migrate_document(
+        self, video_id: str, destination: str | None = None
+    ) -> None:
+        """Run the full five-phase migration protocol for one document."""
+        self.migrations.migrate(video_id, destination)
+
+    def store_event(self, video_id: str, event: VideoEvent) -> str:
+        """Append one event to the document's owning shard (the fleet's
+        online write path): fenced against concurrent cutovers, retried
+        exactly once on the new owner, and — for a document mid-migration
+        — appended to the migration's pending tail for catch-up."""
+        return self.migrations.store_event(video_id, event)
+
+    def write_intent(self, video_id: str) -> PlacementLease:
+        """An epoch-stamped intent to write ``video_id`` later; fences
+        when a cutover moves the document first."""
+        return self.migrations.write_intent(video_id)
+
     # ------------------------------------------------------------------
     # two-phase registration
     # ------------------------------------------------------------------
@@ -524,6 +686,7 @@ class ShardedKernel:
                 )
             self._seq += 1
             seq = self._seq
+            event_ids = tuple(document.events)
             self._journal.append(
                 {
                     "op": "prepare",
@@ -531,6 +694,7 @@ class ShardedKernel:
                     "video": video_id,
                     "shard": target,
                     "domain": domain,
+                    "events": list(event_ids),
                 }
             )
             self.faults.on_call("sharding.place:prepared")
@@ -539,13 +703,38 @@ class ShardedKernel:
             self._journal.append(
                 {"op": "commit", "seq": seq, "video": video_id}
             )
-            self._place(video_id, target)
+            self._place(video_id, target, event_ids)
             self._documents[video_id] = (document, domain)
             return target
 
-    def _place(self, video_id: str, shard: str) -> None:
+    def _place(
+        self,
+        video_id: str,
+        shard: str,
+        events: tuple[str, ...] | None = None,
+    ) -> None:
+        """Commit a placement: ownership flips *and* the document's rows
+        land on ``shard`` now. ``events`` is the event-id set present at
+        insertion (None for legacy journal records: all handle events)."""
         self._placements[video_id] = shard
         self._placement_order[shard].append(video_id)
+        self._ops[shard].append(("doc", video_id, events))
+
+    def _record_copy(
+        self, shard: str, video_id: str, events: tuple[str, ...]
+    ) -> None:
+        """A migration copy landed the document's rows on ``shard`` —
+        insertion order advances, but ownership does *not* flip until
+        cutover (the placement map still names the source)."""
+        self._placement_order[shard].append(video_id)
+        self._ops[shard].append(("doc", video_id, events))
+
+    def _record_event(
+        self, shard: str, video_id: str, payload: Mapping[str, Any]
+    ) -> None:
+        """A late event row landed on ``shard`` (online write or
+        catch-up shipment)."""
+        self._ops[shard].append(("event", video_id, dict(payload)))
 
     def _write_document(self, shard: _Shard, document: VideoDocument) -> None:
         def apply(kernel: MonetKernel) -> None:
@@ -592,22 +781,84 @@ class ShardedKernel:
         :class:`repro.errors.InsufficientCoverageError` instead.
         """
         parsed = parse_coql(coql) if isinstance(coql, str) else coql
-        floor = (
-            self.config.min_coverage if min_coverage is None else min_coverage
-        )
+        floor = self._resolve_floor(min_coverage)
         with self._lock:
             targets, plan = self._plan_gather(parsed)
-            records: list[dict[str, Any]] = []
             buckets = _GatherBuckets()
+            shard_rows: dict[str, list[dict[str, Any]]] = {}
             for name in targets:
                 rows = self._gather_one(name, buckets, self._read_thunk(parsed))
                 if rows is not None:
-                    records.extend(rows)
-            coverage = self._coverage(plan, targets, buckets)
+                    shard_rows[name] = rows
+            records, served, dual_read = self._merge_gather(
+                parsed, shard_rows, buckets
+            )
+            coverage = self._coverage(
+                plan, targets, buckets, served=served, dual_read=dual_read
+            )
         records.sort(key=lambda r: (r["video_id"], r["start"]))
         self._enforce_floor(coverage, floor)
         report = PreprocessReport(required_kinds=[parsed.kind])
         return QueryResult(parsed, records, report, coverage=coverage)
+
+    def _resolve_floor(self, min_coverage: float | None) -> float:
+        if min_coverage is None:
+            return self.config.min_coverage
+        _validate_floor(min_coverage, "min_coverage")
+        return min_coverage
+
+    def _merge_gather(
+        self,
+        parsed: CoqlQuery,
+        shard_rows: dict[str, list[dict[str, Any]]],
+        buckets: "_GatherBuckets",
+    ) -> tuple[list[dict[str, Any]], set[str], int]:
+        """Merge per-shard answers by *ownership*, with dual reads for
+        in-flight migrations.
+
+        During a migration a document's rows exist on two shards (and the
+        source's stale rows stay behind after retirement — BATs have no
+        deletion), so the merge takes each document's rows from exactly
+        one side: its placement owner when that shard answered, else —
+        for a migrating document — its migration counterpart, issuing the
+        fallback sub-request on demand when the counterpart was not in
+        the original fan-out. Source is consulted first by construction:
+        before cutover the placement owner *is* the source. Returns the
+        merged rows, the set of covered documents, and how many were
+        served through a dual read.
+        """
+        migrating = self.migrations.in_flight()
+        for video_id in sorted(migrating):
+            owner = self._placements.get(video_id)
+            counterpart = self.migrations.counterpart(video_id)
+            if owner is None or counterpart is None:
+                continue
+            if owner in shard_rows or counterpart in shard_rows:
+                continue
+            if counterpart in buckets.attempted():
+                continue  # the fallback side was already lost this gather
+            rows = self._gather_one(
+                counterpart, buckets, self._read_thunk(parsed)
+            )
+            if rows is not None:
+                shard_rows[counterpart] = rows
+        served_via: dict[str, str] = {}
+        dual_read = 0
+        for video_id, owner in self._placements.items():
+            if owner in shard_rows:
+                served_via[video_id] = owner
+            elif video_id in migrating:
+                counterpart = self.migrations.counterpart(video_id)
+                if counterpart in shard_rows:
+                    served_via[video_id] = counterpart
+                    dual_read += 1
+        records = [
+            row
+            for shard_name, rows in shard_rows.items()
+            for row in rows
+            if served_via.get(row["video_id"]) == shard_name
+        ]
+        return records, set(served_via), dual_read
 
     def scatter_call(
         self,
@@ -617,9 +868,7 @@ class ShardedKernel:
     ) -> GatherResult:
         """Call a MIL PROC on every live shard; gather per-shard values
         under the same partial-failure semantics as :meth:`query`."""
-        floor = (
-            self.config.min_coverage if min_coverage is None else min_coverage
-        )
+        floor = self._resolve_floor(min_coverage)
         with self._lock:
             targets = self.live_shards()
             buckets = _GatherBuckets()
@@ -794,13 +1043,19 @@ class ShardedKernel:
         plan: str,
         targets: tuple[str, ...] | tuple,
         buckets: "_GatherBuckets",
+        served: set[str] | None = None,
+        dual_read: int = 0,
     ) -> ShardCoverageReport:
         answered = set(buckets.answered)
-        covered = sum(
-            1
-            for video_id, shard in self._placements.items()
-            if shard in answered
-        )
+        if served is not None:
+            covered = len(served)
+        else:
+            covered = sum(
+                1
+                for video_id, shard in self._placements.items()
+                if shard in answered
+            )
+        accounting = self.config.migration_accounting
         return ShardCoverageReport(
             plan=plan,
             targeted=tuple(targets),
@@ -811,6 +1066,8 @@ class ShardedKernel:
             dead=tuple(sorted(buckets.dead)),
             documents_total=len(self._placements),
             documents_covered=covered,
+            migrating=len(self.migrations.in_flight()) if accounting else 0,
+            dual_read=dual_read if accounting else 0,
         )
 
     def _enforce_floor(
@@ -866,6 +1123,8 @@ class ShardedKernel:
             for name in self.live_shards():
                 shard = self._shards[name]
                 self._fenced_apply(shard, lambda k: k.run(mil_source))
+            # shards added later replay the same sources (_admit_shard)
+            self._mil_sources.append(mil_source)
 
     # ------------------------------------------------------------------
     # failure handling + rebalance
@@ -896,6 +1155,9 @@ class ShardedKernel:
                     if self._placements.get(video_id) == shard_name:
                         ordered.append((video_id, shard_name))
             for video_id, src in ordered:
+                # a draining service can abort between documents — each
+                # move is journaled, so a cancelled rebalance resumes
+                cancel_checkpoint(f"sharding.rebalance:{video_id}")
                 handle = self._documents.get(video_id)
                 if handle is None:
                     raise PlacementError(
@@ -908,6 +1170,7 @@ class ShardedKernel:
                 target = self.shard(dst)
                 self._seq += 1
                 seq = self._seq
+                event_ids = tuple(document.events)
                 self._journal.append(
                     {
                         "op": "prepare",
@@ -915,13 +1178,14 @@ class ShardedKernel:
                         "video": video_id,
                         "shard": dst,
                         "domain": domain,
+                        "events": list(event_ids),
                     }
                 )
                 self._write_document(target, document)
                 self._journal.append(
                     {"op": "commit", "seq": seq, "video": video_id}
                 )
-                self._place(video_id, dst)
+                self._place(video_id, dst, event_ids)
                 moved.append((video_id, src, dst))
             return RebalanceReport(moves=tuple(moved), dead=tuple(dead))
 
@@ -930,39 +1194,108 @@ class ShardedKernel:
     # ------------------------------------------------------------------
     def _recover_placements(self) -> None:
         """Rebuild the placement map from the journal, resolving in-doubt
-        registrations: a prepare whose rows reached the owning shard rolls
-        forward (the commit record is re-appended), one whose rows did not
-        rolls back (an abort record keeps the audit trail)."""
+        registrations *and* migrations.
+
+        Registrations: a prepare whose rows reached the owning shard
+        rolls forward (the commit record is re-appended), one whose rows
+        did not rolls back (an abort record keeps the audit trail).
+
+        Migrations: every record of the protocol replays in order —
+        topology growth (``add-shard``), copies (ops + insertion order on
+        the destination), shipped tail records, cutovers (ownership flip
+        + routing epoch). A migration left in doubt by a crash is then
+        handed to :meth:`MigrationCoordinator.resolve_in_doubt`: rolled
+        back before the copy point, rolled forward — healed, cut over,
+        verified, retired — after it.
+        """
         committed: set[str] = set()
         prepared: dict[int, dict[str, Any]] = {}
+        migrations: dict[str, dict[str, Any]] = {}
         records = self._journal.records()
         for record in records:
             self._seq = max(self._seq, int(record.get("seq", 0)))
-            if record["op"] == "prepare":
+            op = record["op"]
+            if op == "prepare":
                 prepared[record["seq"]] = record
-            elif record["op"] == "commit":
+            elif op == "commit":
                 entry = prepared.pop(record["seq"], None)
                 if entry is not None:
-                    self._place(entry["video"], entry["shard"])
+                    events = entry.get("events")
+                    self._place(
+                        entry["video"],
+                        entry["shard"],
+                        tuple(events) if events is not None else None,
+                    )
                     committed.add(entry["video"])
             # "abort" records need no replay: the prepare they close was
             # already popped rolled-back state on the crashed run
-            elif record["op"] == "abort":
+            elif op == "abort":
                 prepared.pop(record["seq"], None)
+            elif op == "add-shard":
+                if record["shard"] not in self._shards:
+                    self._admit_shard(record["shard"])
+            elif op == "event":
+                self._record_event(
+                    record["shard"], record["video"], record["event"]
+                )
+                entry = migrations.get(record["video"])
+                if (
+                    entry is not None
+                    and entry["phase"] == "copied"
+                    and record["shard"] == entry["src"]
+                ):
+                    entry["pending"].append(record["event"])
+            elif op == "migrate-plan":
+                migrations[record["video"]] = {
+                    "seq": record["seq"],
+                    "src": record["src"],
+                    "dst": record["dst"],
+                    "phase": "planned",
+                    "pending": [],
+                }
+            elif op == "migrate-copy":
+                entry = migrations[record["video"]]
+                entry["phase"] = "copied"
+                self._record_copy(
+                    entry["dst"],
+                    record["video"],
+                    tuple(record.get("events") or ()),
+                )
+            elif op == "migrate-ship":
+                entry = migrations[record["video"]]
+                self._record_event(
+                    entry["dst"], record["video"], record["event"]
+                )
+                if entry["pending"]:
+                    entry["pending"].pop(0)
+            elif op == "migrate-cutover":
+                entry = migrations[record["video"]]
+                entry["phase"] = "cutover"
+                self._placements[record["video"]] = entry["dst"]
+                self._routing_epoch += 1
+            elif op in ("migrate-retire", "migrate-abort"):
+                migrations.pop(record["video"], None)
         for seq in sorted(prepared):
             entry = prepared[seq]
             video_id, shard_name = entry["video"], entry["shard"]
             if video_id in committed:
                 continue  # a later registration superseded this prepare
+            events = entry.get("events")
             if self._shard_has_rows(shard_name, video_id):
                 self._journal.append(
                     {"op": "commit", "seq": seq, "video": video_id}
                 )
-                self._place(video_id, shard_name)
+                self._place(
+                    video_id,
+                    shard_name,
+                    tuple(events) if events is not None else None,
+                )
             else:
                 self._journal.append(
                     {"op": "abort", "seq": seq, "video": video_id}
                 )
+        for video_id in sorted(migrations):
+            self.migrations.resolve_in_doubt(video_id, migrations[video_id])
 
     def _shard_has_rows(self, shard_name: str, video_id: str) -> bool:
         kernel = self.shard(shard_name).kernel
@@ -997,11 +1330,14 @@ class ShardedKernel:
         """Byte-for-byte divergence of every live shard's metadata.
 
         Each live shard's ``meta_*`` BATs are compared against a reference
-        rebuild — a fresh in-memory kernel fed the shard's documents in
-        journal order, which reproduces the exact insertion sequence — and
-        each replicated shard additionally runs its group's own
-        convergence check. Empty means the placement map, the shard
-        catalogs, and the replicas all agree.
+        rebuild — a fresh in-memory kernel fed the shard's insertion ops
+        in journal order: each document op registers the document *as it
+        looked at insertion time* (late events pruned), each event op
+        replays the journaled payload — which reproduces the exact
+        insertion sequence through registrations, rebalances, migrations
+        and online writes. Each replicated shard additionally runs its
+        group's own convergence check. Empty means the placement map, the
+        shard catalogs, and the replicas all agree.
         """
         with self._lock:
             failures: list[str] = []
@@ -1009,15 +1345,23 @@ class ShardedKernel:
                 shard = self._shards[name]
                 reference = MonetKernel(threads=1, check="off")
                 view = MetadataStore(reference)
-                for video_id in self._placement_order[name]:
-                    handle = self._documents.get(video_id)
-                    if handle is None:
-                        failures.append(
-                            f"{name}: no document handle for {video_id!r}; "
-                            f"cannot rebuild the reference catalog"
+                for op, video_id, detail in self._ops[name]:
+                    if op == "doc":
+                        handle = self._documents.get(video_id)
+                        if handle is None:
+                            failures.append(
+                                f"{name}: no document handle for "
+                                f"{video_id!r}; cannot rebuild the "
+                                f"reference catalog"
+                            )
+                            continue
+                        view.register_document(
+                            pruned_document(handle[0], detail)
                         )
-                        continue
-                    view.register_document(handle[0])
+                    else:
+                        view._store_event(
+                            video_id, event_from_payload(detail)
+                        )
                 expected = {
                     bat_name: bat
                     for bat_name, bat in reference.snapshot().items()
@@ -1073,6 +1417,8 @@ class ShardedKernel:
                 shards=shards,
                 documents=len(self._placements),
                 fenced_retries=self._fenced_retries,
+                migrating=len(self.migrations.in_flight()),
+                migration_fenced_retries=self._migration_fenced_retries,
             )
 
     def close(self) -> None:
@@ -1094,6 +1440,13 @@ class _GatherBuckets:
         self.shed: list[str] = []
         self.timed_out: list[str] = []
         self.dead: list[str] = []
+
+    def attempted(self) -> set[str]:
+        """Shards this gather already tried (any outcome) — a dual read
+        must not re-request a shard that was just lost."""
+        return set(self.answered) | set(self.shed) | set(
+            self.timed_out
+        ) | set(self.dead)
 
 
 class _RequestLost(TransientError):

@@ -61,6 +61,20 @@ class HashRing:
     def shards(self) -> list[str]:
         return list(self._shards)
 
+    def extended(self, shard: str) -> "HashRing":
+        """A new ring with ``shard`` added (same vnodes).
+
+        The complement of death: adding a shard steals only the keys its
+        own vnode arcs now cover — every other key keeps its owner, which
+        is what makes an online split move the minimum set of documents.
+        The result is identical to building a fresh ring from the full
+        name set (vnode points are position-independent), so a fleet that
+        grew online and a fleet built from the final topology agree.
+        """
+        if shard in self._shards:
+            raise ShardingError(f"shard {shard!r} is already on the ring")
+        return HashRing([*self._shards, shard], vnodes=self.vnodes)
+
     def owner(self, key: str, exclude: Iterable[str] = ()) -> str:
         """The shard owning ``key``: the first ring point clockwise from
         the key's hash whose shard is not in ``exclude``."""

@@ -41,6 +41,8 @@ def test_harness_writes_bench_document(tmp_path):
         "end_to_end_query",
         "replicated_read_fanout",
         "sharded_scatter_gather",
+        "migration_throughput",
+        "query_latency_during_split",
         "check_whole_program",
         "equivcheck_certify",
     }

@@ -449,7 +449,7 @@ class TestCli:
         assert code == 0
         assert "shard chaos: CONVERGED" in capsys.readouterr().out
         document = json.loads(out.read_text())
-        assert document["format"] == "repro-shard-chaos/1"
+        assert document["format"] == "repro-shard-chaos/2"
         assert document["ok"] and document["deterministic"]
         assert len(document["sweep"]["results"]) == len(PLACEMENT_KILL_SITES)
 
